@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of EXPERIMENTS.md at the
+default scale below.  Scale knobs are overridable through environment
+variables for quicker smoke runs:
+
+  REPRO_BENCH_CLIPS   dataset size        (default 240)
+  REPRO_BENCH_EPOCHS  training epochs     (default 20)
+  REPRO_BENCH_FRAMES  frames per clip     (default 8)
+"""
+
+import os
+
+import pytest
+
+from repro.eval import ExperimentScale
+
+
+def bench_scale() -> ExperimentScale:
+    return ExperimentScale(
+        num_clips=int(os.environ.get("REPRO_BENCH_CLIPS", 240)),
+        frames=int(os.environ.get("REPRO_BENCH_FRAMES", 8)),
+        epochs=int(os.environ.get("REPRO_BENCH_EPOCHS", 20)),
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()

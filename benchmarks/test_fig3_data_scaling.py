@@ -1,0 +1,28 @@
+"""Figure 3 — extraction quality vs training-set size.
+
+Trains the divided-attention transformer on nested subsets of the
+training split and evaluates on a fixed test split.
+
+Expected shape: monotone-ish improvement with more clips; the smallest
+budget is clearly worse than the largest.
+"""
+
+from repro.eval import format_figure_series, run_fig3_data_scaling
+
+SIZES = (60, 120, 240)
+
+
+def test_fig3_data_scaling(benchmark, scale):
+    series = benchmark.pedantic(
+        run_fig3_data_scaling, args=(scale,),
+        kwargs={"sizes": SIZES}, rounds=1, iterations=1
+    )
+    print()
+    print(format_figure_series(
+        "Figure 3 — quality vs training clips (vt-divided)", "clips",
+        series,
+    ))
+
+    assert (series[max(SIZES)]["actions_macro_f1"]
+            >= series[min(SIZES)]["actions_macro_f1"])
+    assert series[max(SIZES)]["ego_acc"] >= series[min(SIZES)]["ego_acc"] - 0.05

@@ -1,0 +1,27 @@
+"""Figure 4 — attention-factorization ablation (quality vs compute).
+
+Trains joint, divided and factorized space-time attention at matched
+width/depth and reports quality together with estimated GFLOPs and
+measured training time.
+
+Expected shape: all three reach similar quality at this scale, while
+the factorizations differ in compute — the reason divided/factorized
+attention exists.
+"""
+
+from repro.eval import format_figure_series, run_fig4_attention_ablation
+
+
+def test_fig4_attention_ablation(benchmark, scale):
+    results = benchmark.pedantic(
+        run_fig4_attention_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure_series(
+        "Figure 4 — attention factorization ablation", "model", results
+    ))
+
+    for name, point in results.items():
+        assert point["ego_acc"] > 0.5, name
+    accs = [p["ego_acc"] for p in results.values()]
+    assert max(accs) - min(accs) < 0.45  # same family, similar quality

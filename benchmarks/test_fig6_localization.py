@@ -1,0 +1,28 @@
+"""Figure 6 (extension) — temporal scenario localization on long drives.
+
+Concatenates several scenario recordings into long drives, slides the
+trained extractor over them at different strides, and scores frame-level
+tag F1 against ground-truth timelines.  Compares against a single global
+description applied to the whole drive.
+
+Expected shape: sliding-window extraction localizes far better than the
+global description; finer stride is at least as good as coarse.
+"""
+
+from repro.eval import format_figure_series, run_fig6_localization
+
+
+def test_fig6_localization(benchmark, scale):
+    results = benchmark.pedantic(
+        run_fig6_localization, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure_series(
+        "Figure 6 — temporal localization (frame micro-F1 over drives)",
+        "method", results,
+    ))
+
+    assert (results["stride-2"]["frame_micro_f1"]
+            > results["global"]["frame_micro_f1"])
+    assert (results["stride-4"]["frame_micro_f1"]
+            > results["global"]["frame_micro_f1"])

@@ -1,0 +1,31 @@
+"""Table 4 — efficiency: parameters, estimated GFLOPs, throughput.
+
+Regenerates the efficiency comparison across all Table-1 models at the
+benchmark model scale (no training involved).
+"""
+
+from repro.eval import format_table, run_table4_efficiency
+
+
+def test_table4_efficiency(benchmark, scale):
+    results = benchmark.pedantic(
+        run_table4_efficiency, args=(scale,), rounds=1, iterations=1
+    )
+    rows = [
+        [name, int(m["params"]), m["gflops"], m["clips_per_s"],
+         m["ms_per_clip"]]
+        for name, m in results.items()
+    ]
+    print()
+    print(format_table(
+        "Table 4 — efficiency (inference, batch=16)",
+        ("model", "params", "est_GFLOPs", "clips/s", "ms/clip"), rows,
+    ))
+
+    # Shape: the frame-difference MLP is the cheapest model by far and
+    # every model sustains interactive inference at this scale.
+    assert results["frame-mlp"]["params"] == min(
+        m["params"] for m in results.values()
+    )
+    for name, m in results.items():
+        assert m["clips_per_s"] > 1.0, name

@@ -1,0 +1,33 @@
+"""Table 8 (ablation) — model capacity sweep.
+
+Sweeps the divided-attention transformer's width at fixed depth/budget
+and regenerates the capacity/quality trade-off table.
+
+Expected shape: the task saturates at modest width — the medium model
+matches or beats the small one, and extra width buys little (the
+dataset, not capacity, is the binding constraint at this scale).
+"""
+
+from repro.eval import format_table
+from repro.eval.sweep import run_sweep, sweep_grid
+
+
+def test_table8_capacity_sweep(benchmark, scale):
+    overrides = sweep_grid(dim=(32, 48, 64))
+    results = benchmark.pedantic(
+        run_sweep, args=(scale, "vt-divided", overrides),
+        rounds=1, iterations=1
+    )
+    rows = [
+        [label, m["ego_acc"], m["actions_macro_f1"], m["train_s"]]
+        for label, m in results.items()
+    ]
+    print()
+    print(format_table(
+        "Table 8 — capacity sweep (vt-divided)",
+        ("config", "ego_acc", "actions_f1", "train_s"), rows,
+    ))
+
+    accs = {label: m["ego_acc"] for label, m in results.items()}
+    assert accs["dim=48"] >= accs["dim=32"] - 0.1
+    assert all(acc > 0.5 for acc in accs.values())

@@ -1,0 +1,59 @@
+"""Explore the SynthDrive substrate: simulate scenarios, render ASCII
+BEV frames and show the ground-truth SDL annotations.
+
+Run:  python examples/dataset_explorer.py [family]
+
+Without arguments, walks through every scenario family; with a family
+name (e.g. ``cut-in``), shows a frame-by-frame ASCII animation of one
+clip of that family.
+"""
+
+import sys
+
+from repro.sdl import annotate
+from repro.sim import BEVRenderer, SCENARIO_FAMILIES, simulate_scenario
+from repro.sim.render import ascii_frame
+
+
+def show_family(family: str, seed: int = 3) -> None:
+    recording = simulate_scenario(family, seed=seed)
+    renderer = BEVRenderer(road=recording.road)
+    description = annotate(recording.snapshots)
+    print(f"=== {family} (seed {seed}) ===")
+    print(f"SDL: {description.to_dict()}")
+    print(f"sentence: {description.to_sentence()}\n")
+    # Show start / middle / end frames.
+    n = len(recording.snapshots)
+    for label, index in (("start", 0), ("middle", n // 2), ("end", n - 1)):
+        print(f"-- {label} (t={recording.snapshots[index].t:.1f}s) --")
+        print(ascii_frame(renderer.render(recording.snapshots[index])))
+        print()
+
+
+def animate_family(family: str, seed: int = 3) -> None:
+    recording = simulate_scenario(family, seed=seed)
+    renderer = BEVRenderer(road=recording.road)
+    print(f"=== {family} frame-by-frame (every 0.8s) ===")
+    for snapshot in recording.snapshots[::8]:
+        print(f"t={snapshot.t:.1f}s")
+        print(ascii_frame(renderer.render(snapshot)))
+        print()
+    print("SDL:", annotate(recording.snapshots).to_sentence())
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        family = sys.argv[1]
+        if family not in SCENARIO_FAMILIES:
+            raise SystemExit(
+                f"unknown family {family!r}; "
+                f"choose from {sorted(SCENARIO_FAMILIES)}"
+            )
+        animate_family(family)
+    else:
+        for family in sorted(SCENARIO_FAMILIES):
+            show_family(family)
+
+
+if __name__ == "__main__":
+    main()

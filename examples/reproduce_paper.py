@@ -1,0 +1,132 @@
+"""Regenerate the full evaluation suite and write RESULTS.md.
+
+Run:  python examples/reproduce_paper.py [--fast]
+
+Runs every table/figure runner from ``repro.eval`` at the benchmark
+scale (or a reduced --fast scale) and writes a self-contained markdown
+results file next to this script's working directory.  This is the
+one-command "reproduce the paper" entry point; `pytest benchmarks/`
+runs the same code with shape assertions.
+"""
+
+import argparse
+import time
+
+from repro.eval import (
+    ExperimentScale,
+    format_figure_series,
+    format_table,
+    run_fig2_clip_length,
+    run_fig3_data_scaling,
+    run_fig4_attention_ablation,
+    run_fig5_label_noise,
+    run_fig6_localization,
+    run_fig7_traffic_density,
+    run_fig8_criticality,
+    run_table1_model_comparison,
+    run_table2_per_tag,
+    run_table3_retrieval,
+    run_table4_efficiency,
+)
+
+
+def block(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true",
+                        help="tiny scale (~2 min total) for smoke runs")
+    parser.add_argument("--out", default="RESULTS.md")
+    args = parser.parse_args()
+
+    scale = (ExperimentScale(num_clips=84, frames=4, epochs=6)
+             if args.fast else ExperimentScale(epochs=20))
+    sections = []
+    start = time.time()
+
+    print("Table 1: model comparison ...")
+    t1 = run_table1_model_comparison(scale)
+    sections.append(block("Table 1 — model comparison", format_table(
+        "", ("model", "scene", "ego", "actors_f1", "actions_f1", "mAP",
+             "subset", "train_s"),
+        [[n, m["scene_acc"], m["ego_acc"], m["actors_macro_f1"],
+          m["actions_macro_f1"], m["actions_map"], m["subset_acc"],
+          m["train_s"]] for n, m in t1.items()],
+    )))
+
+    print("Table 2: per-tag report ...")
+    t2 = run_table2_per_tag(scale)
+    rows = []
+    for tag, stats in sorted(t2.items()):
+        if "f1" in stats:
+            rows.append([tag, stats["precision"], stats["recall"],
+                         stats["f1"], stats["support"]])
+        else:
+            rows.append([tag, "-", "-", stats["accuracy"],
+                         stats["support"]])
+    sections.append(block("Table 2 — per-tag report", format_table(
+        "", ("tag", "precision", "recall", "f1/acc", "support"), rows,
+    )))
+
+    print("Table 3: retrieval ...")
+    t3 = run_table3_retrieval(scale)
+    sections.append(block("Table 3 — retrieval", format_table(
+        "", ("index", "recall@1", "recall@5", "mrr"),
+        [[n, m["recall@1"], m["recall@5"], m["mrr"]]
+         for n, m in t3.items()],
+    )))
+
+    print("Table 4: efficiency ...")
+    t4 = run_table4_efficiency(scale)
+    sections.append(block("Table 4 — efficiency", format_table(
+        "", ("model", "params", "GFLOPs", "clips/s"),
+        [[n, int(m["params"]), m["gflops"], m["clips_per_s"]]
+         for n, m in t4.items()],
+    )))
+
+    print("Figure 2: clip length ...")
+    sections.append(block("Figure 2 — clip length", format_figure_series(
+        "", "frames", run_fig2_clip_length(scale)
+    )))
+    print("Figure 3: data scaling ...")
+    sections.append(block("Figure 3 — data scaling", format_figure_series(
+        "", "clips", run_fig3_data_scaling(scale)
+    )))
+    print("Figure 4: attention ablation ...")
+    sections.append(block("Figure 4 — attention ablation",
+                          format_figure_series(
+                              "", "model",
+                              run_fig4_attention_ablation(scale))))
+    print("Figure 5: label noise ...")
+    sections.append(block("Figure 5 — label noise", format_figure_series(
+        "", "rate", run_fig5_label_noise(scale)
+    )))
+    print("Figure 6: localization ...")
+    sections.append(block("Figure 6 — temporal localization",
+                          format_figure_series(
+                              "", "method", run_fig6_localization(scale))))
+    print("Figure 7: traffic density ...")
+    sections.append(block("Figure 7 — traffic density",
+                          format_figure_series(
+                              "", "extra cars",
+                              run_fig7_traffic_density(scale))))
+    print("Figure 8: criticality triage ...")
+    sections.append(block("Figure 8 — criticality triage",
+                          format_figure_series(
+                              "", "ranking", run_fig8_criticality(scale))))
+
+    elapsed = time.time() - start
+    header = (
+        "# RESULTS — regenerated evaluation\n\n"
+        f"Scale: {scale}\n\n"
+        f"Total wall-clock: {elapsed / 60:.1f} min\n\n"
+    )
+    with open(args.out, "w") as handle:
+        handle.write(header + "\n".join(sections))
+    print(f"wrote {args.out} ({elapsed / 60:.1f} min)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — Automated traffic scenario description extraction using video
+transformers (reproduction of Harder & Behl, DATE ASD 2024).
+
+Layered architecture (bottom-up):
+
+- ``repro.autograd`` — numpy reverse-mode autodiff substrate.
+- ``repro.nn`` / ``repro.optim`` — neural-net layers and optimizers.
+- ``repro.sim`` — traffic microsimulation + BEV video renderer.
+- ``repro.sdl`` — Scenario Description Language (vocabulary, annotator,
+  codec, similarity, embeddings).
+- ``repro.data`` — SynthDrive synthetic clip dataset and loaders.
+- ``repro.models`` — video transformers and baselines.
+- ``repro.train`` — multi-task training loop, metrics, checkpoints.
+- ``repro.core`` — the paper's contribution: the end-to-end
+  :class:`~repro.core.pipeline.ScenarioExtractor`, scenario mining and
+  text-to-video retrieval.
+- ``repro.eval`` — experiment harness regenerating every table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "optim",
+    "sim",
+    "sdl",
+    "data",
+    "models",
+    "train",
+    "core",
+    "eval",
+]

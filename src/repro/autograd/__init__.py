@@ -1,0 +1,40 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This package is the compute substrate for the whole reproduction: a small,
+correct, well-tested autodiff engine in the spirit of PyTorch's eager
+autograd, sufficient to train video transformers and convolutional
+baselines on CPU.
+
+Public surface:
+
+- :class:`Tensor` — an ndarray wrapper that records a computation graph.
+- :func:`tensor`, :func:`zeros`, :func:`ones`, :func:`randn` — constructors.
+- :func:`no_grad` / :func:`is_grad_enabled` — graph-recording control.
+- ``repro.autograd.functional`` — activations, fused softmax/layer-norm,
+  losses and structural ops (concat/stack/pad/where/...).
+- :func:`gradcheck` — numerical gradient verification used by the tests.
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    randn,
+    tensor,
+    zeros,
+)
+from repro.autograd import functional
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradcheck",
+]

@@ -1,0 +1,64 @@
+"""Numerical gradient verification for the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_grad(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-3,
+    atol: float = 1e-2,
+    rtol: float = 5e-2,
+) -> bool:
+    """Compare autodiff gradients of ``sum(fn(*inputs))`` against central
+    differences for every input with ``requires_grad``.
+
+    Uses float32-friendly tolerances.  Raises ``AssertionError`` with a
+    diagnostic message on mismatch, returns ``True`` on success.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        if t.grad is None:
+            raise AssertionError(f"input {i} received no gradient")
+        expected = numerical_grad(fn, inputs, i, eps=eps)
+        actual = t.grad.astype(np.float64)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.abs(actual - expected).max()
+            raise AssertionError(
+                f"gradient mismatch on input {i}: max abs err {worst:.3e}\n"
+                f"analytic:\n{actual}\nnumerical:\n{expected}"
+            )
+    return True

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+- ``generate`` — build a SynthDrive dataset and save it to ``.npz``.
+- ``train`` — train a model on a dataset file and save a checkpoint.
+- ``extract`` — run a trained model over a dataset and print sentences.
+- ``evaluate`` — full SDL metric suite of a checkpoint on a dataset.
+- ``mine`` — export a corpus to JSONL, ranked by criticality.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import ScenarioExtractor
+from repro.data import SynthDriveConfig, SynthDriveDataset, generate_dataset
+from repro.models import MODEL_REGISTRY, ModelConfig, build_model
+from repro.train import TrainConfig, Trainer
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="vt-divided",
+                        choices=sorted(MODEL_REGISTRY))
+    parser.add_argument("--dim", type=int, default=48)
+    parser.add_argument("--depth", type=int, default=2)
+    parser.add_argument("--heads", type=int, default=4)
+
+
+def _model_config(args, frames: int) -> ModelConfig:
+    return ModelConfig(frames=frames, dim=args.dim, depth=args.depth,
+                       num_heads=args.heads, seed=args.seed)
+
+
+def cmd_generate(args) -> int:
+    """``generate``: build and save a SynthDrive dataset."""
+    config = SynthDriveConfig(num_clips=args.clips, frames=args.frames,
+                              seed=args.seed, view=args.view,
+                              ambient_traffic=args.ambient)
+    dataset = generate_dataset(config)
+    dataset.save(args.out)
+    print(f"wrote {len(dataset)} clips "
+          f"({dataset.videos.shape[1:]} each) to {args.out}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    """``train``: fit a model on a dataset file, save a checkpoint."""
+    dataset = SynthDriveDataset.load(args.data)
+    train_set, val_set, _ = dataset.split(seed=args.seed)
+    frames = dataset.videos.shape[1]
+    model = build_model(args.model, _model_config(args, frames))
+    trainer = Trainer(model, TrainConfig(epochs=args.epochs,
+                                         batch_size=args.batch_size,
+                                         lr=args.lr, seed=args.seed,
+                                         verbose=True))
+    trainer.fit(train_set, val_set=val_set if len(val_set) else None)
+    model.save(args.out)
+    metrics = trainer.evaluate(val_set) if len(val_set) else {}
+    print(f"checkpoint written to {args.out}")
+    if metrics:
+        print("val metrics:",
+              json.dumps({k: round(v, 4) for k, v in metrics.items()}))
+    return 0
+
+
+def _load_model(args, frames: int):
+    model = build_model(args.model, _model_config(args, frames))
+    model.load(args.checkpoint)
+    return model
+
+
+def cmd_extract(args) -> int:
+    """``extract``: print descriptions for clips in a dataset."""
+    dataset = SynthDriveDataset.load(args.data)
+    model = _load_model(args, dataset.videos.shape[1])
+    extractor = ScenarioExtractor(model, threshold=args.threshold)
+    clips = dataset.videos[:args.limit] if args.limit else dataset.videos
+    for i, result in enumerate(extractor.extract_batch(clips)):
+        print(f"clip {i}: {result.sentence}")
+        if args.json:
+            print("  " + result.description.to_json())
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """``evaluate``: full SDL metric suite of a checkpoint."""
+    dataset = SynthDriveDataset.load(args.data)
+    model = _load_model(args, dataset.videos.shape[1])
+    trainer = Trainer(model)
+    metrics = trainer.evaluate(dataset)
+    print(json.dumps({k: round(v, 4) for k, v in metrics.items()},
+                     indent=2))
+    return 0
+
+
+def cmd_mine(args) -> int:
+    """``mine``: export a corpus to JSONL ranked by criticality."""
+    from repro.core.export import export_corpus
+
+    dataset = SynthDriveDataset.load(args.data)
+    model = _load_model(args, dataset.videos.shape[1])
+    extractor = ScenarioExtractor(model)
+    records = export_corpus(extractor, dataset.videos, args.out,
+                            families=dataset.families)
+    print(f"wrote {len(records)} records to {args.out}")
+    ranked = sorted(records, key=lambda r: -r["criticality"])
+    print(f"top {args.top} by criticality:")
+    for record in ranked[:args.top]:
+        print(f"  clip {record['clip_id']:3d} "
+              f"crit={record['criticality']:.3f} {record['sentence']}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """``stats``: print tag frequencies and imbalance of a dataset."""
+    from repro.sdl.statistics import format_statistics
+
+    dataset = SynthDriveDataset.load(args.data)
+    print(format_statistics(dataset.descriptions))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Traffic scenario description extraction"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a SynthDrive dataset")
+    gen.add_argument("--clips", type=int, default=240)
+    gen.add_argument("--frames", type=int, default=8)
+    gen.add_argument("--view", choices=("bev", "camera"), default="bev")
+    gen.add_argument("--ambient", type=int, default=0,
+                     help="background vehicles per clip")
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(fn=cmd_generate)
+
+    train = sub.add_parser("train", help="train a model")
+    train.add_argument("--data", required=True)
+    train.add_argument("--out", required=True)
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--batch-size", type=int, default=16)
+    train.add_argument("--lr", type=float, default=3e-3)
+    _add_model_args(train)
+    train.set_defaults(fn=cmd_train)
+
+    extract = sub.add_parser("extract", help="extract descriptions")
+    extract.add_argument("--data", required=True)
+    extract.add_argument("--checkpoint", required=True)
+    extract.add_argument("--threshold", type=float, default=0.5)
+    extract.add_argument("--limit", type=int, default=0)
+    extract.add_argument("--json", action="store_true")
+    _add_model_args(extract)
+    extract.set_defaults(fn=cmd_extract)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--checkpoint", required=True)
+    _add_model_args(evaluate)
+    evaluate.set_defaults(fn=cmd_evaluate)
+
+    stats = sub.add_parser("stats", help="dataset label statistics")
+    stats.add_argument("--data", required=True)
+    stats.set_defaults(fn=cmd_stats)
+
+    mine = sub.add_parser(
+        "mine", help="extract a corpus to JSONL, sorted by criticality"
+    )
+    mine.add_argument("--data", required=True)
+    mine.add_argument("--checkpoint", required=True)
+    mine.add_argument("--out", required=True)
+    mine.add_argument("--top", type=int, default=5,
+                      help="print this many most-critical clips")
+    _add_model_args(mine)
+    mine.set_defaults(fn=cmd_mine)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The paper's contribution: end-to-end scenario description extraction,
+scenario mining over clip corpora, and description-based retrieval."""
+
+from repro.core.pipeline import ExtractionResult, ScenarioExtractor
+from repro.core.mining import MiningHit, ScenarioMiner
+from repro.core.retrieval import RetrievalIndex, retrieval_metrics
+
+__all__ = [
+    "ScenarioExtractor",
+    "ExtractionResult",
+    "ScenarioMiner",
+    "MiningHit",
+    "RetrievalIndex",
+    "retrieval_metrics",
+]

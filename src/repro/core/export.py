@@ -1,0 +1,71 @@
+"""Corpus-level export of extraction results (JSONL).
+
+The interchange format for downstream consumers: one JSON object per
+clip with the structured description, the generated sentence, head
+confidences and the criticality proxy — what a fleet-log indexing
+service would persist.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.criticality import description_criticality
+from repro.core.pipeline import ExtractionResult, ScenarioExtractor
+from repro.sdl.description import ScenarioDescription
+
+
+def result_to_record(clip_id: int, result: ExtractionResult,
+                     family: Optional[str] = None) -> dict:
+    """Flatten one extraction result into a JSON-serialisable record."""
+    record = {
+        "clip_id": clip_id,
+        "description": result.description.to_dict(),
+        "sentence": result.sentence,
+        "confidences": {k: round(float(v), 4)
+                        for k, v in result.confidences.items()},
+        "criticality": round(description_criticality(result.description), 4),
+        "frame_range": list(result.frame_range),
+    }
+    if family is not None:
+        record["family"] = family
+    return record
+
+
+def export_corpus(extractor: ScenarioExtractor, clips: np.ndarray,
+                  path: str,
+                  families: Optional[Sequence[str]] = None) -> List[dict]:
+    """Extract every clip and write one JSON line per clip to ``path``.
+
+    Returns the records (also useful without the file side-effect via
+    ``path=None`` — then nothing is written)."""
+    results = extractor.extract_batch(clips)
+    records = [
+        result_to_record(i, result,
+                         families[i] if families is not None else None)
+        for i, result in enumerate(results)
+    ]
+    if path is not None:
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return records
+
+
+def load_corpus(path: str) -> List[dict]:
+    """Read records written by :func:`export_corpus`; descriptions are
+    re-validated through :class:`ScenarioDescription`."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            # Validation: raises on vocabulary drift.
+            ScenarioDescription.from_dict(record["description"])
+            records.append(record)
+    return records

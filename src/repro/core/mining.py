@@ -1,0 +1,84 @@
+"""Scenario mining: find clips matching a queried scenario description.
+
+The downstream use-case motivating automated extraction: a fleet
+operator asks "show me every pedestrian-crossing clip" and the miner
+ranks a corpus by SDL similarity between the query and each clip's
+*extracted* description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import ScenarioExtractor
+from repro.sdl.description import ScenarioDescription
+from repro.sdl.similarity import sdl_similarity
+
+
+@dataclass(frozen=True)
+class MiningHit:
+    clip_id: int
+    score: float
+    description: ScenarioDescription
+    sentence: str
+
+
+class ScenarioMiner:
+    """Indexes a clip corpus by extracted descriptions and answers
+    description queries."""
+
+    def __init__(self, extractor: ScenarioExtractor) -> None:
+        self.extractor = extractor
+        self._descriptions: List[ScenarioDescription] = []
+
+    def index(self, clips: np.ndarray) -> None:
+        """Extract and store descriptions for a corpus
+        ``(N, T, C, H, W)``; replaces any previous index."""
+        results = self.extractor.extract_batch(clips)
+        self._descriptions = [r.description for r in results]
+
+    def index_descriptions(self,
+                           descriptions: Sequence[ScenarioDescription]
+                           ) -> None:
+        """Index pre-computed descriptions (e.g. ground truth)."""
+        self._descriptions = list(descriptions)
+
+    @property
+    def size(self) -> int:
+        return len(self._descriptions)
+
+    def query(self, query: ScenarioDescription, top_k: int = 5,
+              min_score: float = 0.0) -> List[MiningHit]:
+        """Rank indexed clips by SDL similarity to ``query``."""
+        if not self._descriptions:
+            raise RuntimeError("miner has no indexed clips; call index()")
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        scored = [
+            (i, sdl_similarity(query, desc))
+            for i, desc in enumerate(self._descriptions)
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        hits = []
+        for clip_id, score in scored[:top_k]:
+            if score < min_score:
+                break
+            desc = self._descriptions[clip_id]
+            hits.append(MiningHit(clip_id=clip_id, score=score,
+                                  description=desc,
+                                  sentence=desc.to_sentence()))
+        return hits
+
+    def query_tags(self, top_k: int = 5, **tags) -> List[MiningHit]:
+        """Convenience query from keyword tags, e.g.
+        ``query_tags(ego_action="stop", actors={"pedestrian"})``."""
+        query = ScenarioDescription(
+            scene=tags.get("scene", "straight-road"),
+            ego_action=tags.get("ego_action", "drive-straight"),
+            actors=frozenset(tags.get("actors", ())),
+            actor_actions=frozenset(tags.get("actor_actions", ())),
+        )
+        return self.query(query, top_k=top_k)

@@ -1,0 +1,126 @@
+"""End-to-end scenario description extraction from video clips."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.sdl.codec import LabelCodec
+from repro.sdl.description import ScenarioDescription
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """One extracted description with its confidence scores."""
+
+    description: ScenarioDescription
+    sentence: str
+    confidences: Dict[str, float]
+    frame_range: Tuple[int, int]
+
+
+class ScenarioExtractor:
+    """Video → SDL description, the system the paper's title promises.
+
+    Wraps a trained clip model: handles batching, sliding windows over
+    longer videos, decoding logits into :class:`ScenarioDescription`
+    objects and rendering template sentences.
+    """
+
+    def __init__(self, model: Module, codec: Optional[LabelCodec] = None,
+                 threshold: float = 0.5, batch_size: int = 16) -> None:
+        self.model = model
+        self.codec = codec or LabelCodec()
+        self.threshold = threshold
+        self.batch_size = batch_size
+
+    # -- primitives -----------------------------------------------------
+    def logits(self, clips: np.ndarray) -> Dict[str, np.ndarray]:
+        """Batched no-grad logits for clips ``(N, T, C, H, W)``."""
+        if clips.ndim != 5:
+            raise ValueError("expected (N, T, C, H, W) clips")
+        self.model.eval()
+        pieces: Dict[str, List[np.ndarray]] = {}
+        with no_grad():
+            for start in range(0, len(clips), self.batch_size):
+                chunk = Tensor(clips[start:start + self.batch_size])
+                for key, value in self.model(chunk).items():
+                    pieces.setdefault(key, []).append(value.data)
+        return {k: np.concatenate(v) for k, v in pieces.items()}
+
+    def _confidences(self, logits: Dict[str, np.ndarray],
+                     index: int) -> Dict[str, float]:
+        scene_probs = _softmax(logits["scene"][index])
+        ego_probs = _softmax(logits["ego_action"][index])
+        return {
+            "scene": float(scene_probs.max()),
+            "ego_action": float(ego_probs.max()),
+            "actors": float(_sigmoid(logits["actors"][index]).max(initial=0.0)),
+            "actor_actions": float(
+                _sigmoid(logits["actor_actions"][index]).max(initial=0.0)
+            ),
+        }
+
+    # -- public API -------------------------------------------------------
+    def extract(self, clip: np.ndarray) -> ExtractionResult:
+        """Extract the description of a single clip ``(T, C, H, W)``."""
+        if clip.ndim != 4:
+            raise ValueError("expected a single (T, C, H, W) clip")
+        results = self.extract_batch(clip[None])
+        return results[0]
+
+    def extract_batch(self, clips: np.ndarray) -> List[ExtractionResult]:
+        """Extract descriptions for ``(N, T, C, H, W)`` clips."""
+        logits = self.logits(clips)
+        descriptions = self.codec.decode_batch(logits,
+                                               threshold=self.threshold)
+        frames = clips.shape[1]
+        return [
+            ExtractionResult(
+                description=desc,
+                sentence=desc.to_sentence(),
+                confidences=self._confidences(logits, i),
+                frame_range=(0, frames),
+            )
+            for i, desc in enumerate(descriptions)
+        ]
+
+    def extract_sliding(self, video: np.ndarray, window: int,
+                        stride: int) -> List[ExtractionResult]:
+        """Slide a window over a long video ``(T, C, H, W)`` and extract
+        a description per window — scenario *timeline* extraction."""
+        if video.ndim != 4:
+            raise ValueError("expected (T, C, H, W) video")
+        if window <= 0 or stride <= 0:
+            raise ValueError("window and stride must be positive")
+        total = video.shape[0]
+        if total < window:
+            raise ValueError(
+                f"video has {total} frames, shorter than window {window}"
+            )
+        starts = list(range(0, total - window + 1, stride))
+        clips = np.stack([video[s:s + window] for s in starts])
+        results = self.extract_batch(clips)
+        return [
+            ExtractionResult(
+                description=r.description,
+                sentence=r.sentence,
+                confidences=r.confidences,
+                frame_range=(start, start + window),
+            )
+            for start, r in zip(starts, results)
+        ]
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    e = np.exp(x - x.max())
+    return e / e.sum()
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))

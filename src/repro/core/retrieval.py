@@ -1,0 +1,76 @@
+"""Text/SDL → video retrieval and its evaluation metrics (Table 3).
+
+Scenario2Vector-style evaluation: each test clip's ground-truth
+description acts as the "text query"; the system must retrieve the clip
+whose *extracted* description embeds closest to the query.  Quality is
+reported as Recall@k and mean reciprocal rank (MRR).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sdl.description import ScenarioDescription
+from repro.sdl.similarity import sdl_vector
+
+
+class RetrievalIndex:
+    """Cosine-similarity index over SDL embedding vectors."""
+
+    def __init__(self) -> None:
+        self._ids: List[int] = []
+        self._vectors: List[np.ndarray] = []
+
+    def add(self, clip_id: int, description: ScenarioDescription) -> None:
+        self._ids.append(clip_id)
+        self._vectors.append(sdl_vector(description))
+
+    def add_batch(self, descriptions: Sequence[ScenarioDescription]) -> None:
+        for i, desc in enumerate(descriptions):
+            self.add(i, desc)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def query(self, description: ScenarioDescription,
+              top_k: int = 5) -> List[int]:
+        """Clip ids ranked by similarity to the query description."""
+        if not self._ids:
+            raise RuntimeError("empty retrieval index")
+        matrix = np.stack(self._vectors)
+        q = sdl_vector(description)
+        norms = np.linalg.norm(matrix, axis=1) * max(np.linalg.norm(q), 1e-9)
+        scores = matrix @ q / np.maximum(norms, 1e-9)
+        order = np.argsort(-scores, kind="stable")
+        return [self._ids[i] for i in order[:top_k]]
+
+
+def retrieval_metrics(queries: Sequence[ScenarioDescription],
+                      index: RetrievalIndex,
+                      correct_ids: Sequence[int],
+                      ks: Sequence[int] = (1, 5)) -> Dict[str, float]:
+    """Recall@k and MRR when query ``i`` should retrieve
+    ``correct_ids[i]``.
+
+    Ties in SDL space are common (identical descriptions embed
+    identically), so recall counts a hit when the correct id appears in
+    the top-k of a stable ranking.
+    """
+    if len(queries) != len(correct_ids):
+        raise ValueError("queries and correct_ids must align")
+    max_k = max(ks)
+    hits = {k: 0 for k in ks}
+    reciprocal_ranks = []
+    for query, target in zip(queries, correct_ids):
+        ranked = index.query(query, top_k=len(index))
+        rank = ranked.index(target) + 1 if target in ranked else None
+        for k in ks:
+            if rank is not None and rank <= k:
+                hits[k] += 1
+        reciprocal_ranks.append(1.0 / rank if rank else 0.0)
+    n = max(len(queries), 1)
+    metrics = {f"recall@{k}": hits[k] / n for k in ks}
+    metrics["mrr"] = float(np.mean(reciprocal_ranks)) if queries else 0.0
+    return metrics

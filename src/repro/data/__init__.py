@@ -1,0 +1,23 @@
+"""SynthDrive dataset generation, loading and augmentation."""
+
+from repro.data.synthdrive import SynthDriveConfig, SynthDriveDataset, generate_dataset
+from repro.data.loader import DataLoader
+from repro.data.transforms import (
+    HorizontalFlip,
+    PixelNoise,
+    TemporalJitter,
+    compose,
+)
+from repro.data.noise import inject_label_noise
+
+__all__ = [
+    "SynthDriveConfig",
+    "SynthDriveDataset",
+    "generate_dataset",
+    "DataLoader",
+    "HorizontalFlip",
+    "PixelNoise",
+    "TemporalJitter",
+    "compose",
+    "inject_label_noise",
+]

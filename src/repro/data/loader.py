@@ -1,0 +1,76 @@
+"""Batch iteration over SynthDrive datasets."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.data.synthdrive import SynthDriveDataset
+from repro.data.transforms import Transform
+
+
+class DataLoader:
+    """Yields batches ``{"video", "scene", "ego_action", "actors",
+    "actor_actions"}`` with optional shuffling and per-clip augmentation.
+
+    Iterating twice produces different shuffles (the generator advances),
+    which is the desired epoch behaviour.
+    """
+
+    def __init__(self, dataset: SynthDriveDataset, batch_size: int = 16,
+                 shuffle: bool = True, seed: int = 0,
+                 transform: Optional[Transform] = None,
+                 drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self.rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Dict[str, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                return
+            yield self._collate(batch_idx)
+
+    def _collate(self, batch_idx: np.ndarray) -> Dict[str, np.ndarray]:
+        targets = self.dataset.targets
+        videos = []
+        scenes, egos, actors, actions = [], [], [], []
+        for i in batch_idx:
+            video = self.dataset.videos[i]
+            clip_targets = {
+                "scene": targets["scene"][i],
+                "ego_action": targets["ego_action"][i],
+                "actors": targets["actors"][i],
+                "actor_actions": targets["actor_actions"][i],
+            }
+            if self.transform is not None:
+                video, clip_targets = self.transform(video, clip_targets,
+                                                     self.rng)
+            videos.append(video)
+            scenes.append(clip_targets["scene"])
+            egos.append(clip_targets["ego_action"])
+            actors.append(clip_targets["actors"])
+            actions.append(clip_targets["actor_actions"])
+        return {
+            "video": np.stack(videos).astype(np.float32),
+            "scene": np.asarray(scenes, dtype=np.int64),
+            "ego_action": np.asarray(egos, dtype=np.int64),
+            "actors": np.stack(actors).astype(np.float32),
+            "actor_actions": np.stack(actions).astype(np.float32),
+        }

@@ -1,0 +1,92 @@
+"""Clip augmentations with label-consistent transforms.
+
+Each transform is a callable ``(video, targets, rng) -> (video, targets)``
+operating on one clip ``(T, C, H, W)`` and its encoded target dict.  The
+horizontal flip also remaps left/right ego-action labels via the codec —
+an invariant the tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.sdl.codec import LabelCodec
+
+Transform = Callable[[np.ndarray, Dict[str, np.ndarray], np.random.Generator],
+                     tuple]
+
+
+class HorizontalFlip:
+    """Mirror the clip laterally with probability ``p`` and swap
+    left/right tags accordingly."""
+
+    def __init__(self, codec: LabelCodec, p: float = 0.5) -> None:
+        self.codec = codec
+        self.p = p
+
+    def __call__(self, video, targets, rng):
+        if rng.random() >= self.p:
+            return video, targets
+        flipped = video[..., ::-1].copy()
+        batched = {
+            "scene": np.asarray([targets["scene"]]),
+            "ego_action": np.asarray([targets["ego_action"]]),
+            "actors": targets["actors"][None],
+            "actor_actions": targets["actor_actions"][None],
+        }
+        mirrored = self.codec.mirror_targets(batched)
+        new_targets = {
+            "scene": mirrored["scene"][0],
+            "ego_action": mirrored["ego_action"][0],
+            "actors": mirrored["actors"][0],
+            "actor_actions": mirrored["actor_actions"][0],
+        }
+        return flipped, new_targets
+
+
+class PixelNoise:
+    """Additive Gaussian pixel noise, clipped to ``[0, 1]``."""
+
+    def __init__(self, std: float = 0.02) -> None:
+        self.std = std
+
+    def __call__(self, video, targets, rng):
+        noisy = video + rng.standard_normal(video.shape).astype(video.dtype) \
+            * self.std
+        return np.clip(noisy, 0.0, 1.0), targets
+
+
+class TemporalJitter:
+    """Randomly shift the clip by up to ``max_shift`` frames (edge-padded),
+    simulating imperfect clip boundaries."""
+
+    def __init__(self, max_shift: int = 2) -> None:
+        self.max_shift = max_shift
+
+    def __call__(self, video, targets, rng):
+        shift = int(rng.integers(-self.max_shift, self.max_shift + 1))
+        if shift == 0:
+            return video, targets
+        if shift > 0:
+            shifted = np.concatenate(
+                [np.repeat(video[:1], shift, axis=0), video[:-shift]], axis=0
+            )
+        else:
+            shifted = np.concatenate(
+                [video[-shift:], np.repeat(video[-1:], -shift, axis=0)],
+                axis=0,
+            )
+        return shifted, targets
+
+
+def compose(transforms: Sequence[Transform]) -> Transform:
+    """Chain transforms left to right."""
+
+    def chained(video, targets, rng):
+        for transform in transforms:
+            video, targets = transform(video, targets, rng)
+        return video, targets
+
+    return chained

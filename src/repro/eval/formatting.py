@@ -1,0 +1,41 @@
+"""Plain-text table/series formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: List[Sequence]) -> str:
+    """Render an aligned ASCII table (what the benches print)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in str_rows)) if str_rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [title]
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_figure_series(title: str, x_label: str, series: Dict[str, Dict]
+                         ) -> str:
+    """Render figure data as x → {metric: value} lines."""
+    lines = [title]
+    for x, metrics in series.items():
+        parts = ", ".join(f"{k}={_fmt(v)}" for k, v in metrics.items())
+        lines.append(f"  {x_label}={x}: {parts}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

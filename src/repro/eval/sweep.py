@@ -1,0 +1,56 @@
+"""Hyper-parameter sweep helper.
+
+A small deterministic grid-sweep driver over ``ExperimentScale``
+overrides, used for the capacity ablation (Table 8) and available to
+users exploring the configuration space.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.experiments import ExperimentScale, prepare_data, train_model
+
+
+def sweep_grid(**axes: Sequence) -> List[Dict]:
+    """Cartesian product of keyword axes as a list of override dicts.
+
+    ``sweep_grid(dim=(32, 64), depth=(1, 2))`` → 4 combinations.
+    """
+    if not axes:
+        return [{}]
+    keys = sorted(axes)
+    return [dict(zip(keys, values))
+            for values in product(*(axes[k] for k in keys))]
+
+
+def run_sweep(scale: ExperimentScale, model: str,
+              overrides: Sequence[Dict],
+              metrics: Tuple[str, ...] = ("ego_acc", "actions_macro_f1")
+              ) -> Dict[str, Dict[str, float]]:
+    """Train ``model`` once per override dict on a shared split.
+
+    Override keys matching :class:`~repro.models.config.ModelConfig`
+    fields are applied to the model; ``lr``/``epochs``/``batch_size``
+    apply to training.  Returns results keyed by a compact label.
+    """
+    train_set, _, test_set = prepare_data(scale)
+    train_keys = {"lr", "epochs", "batch_size"}
+    results: Dict[str, Dict[str, float]] = {}
+    for override in overrides:
+        model_overrides = {k: v for k, v in override.items()
+                           if k not in train_keys}
+        train_overrides = {k: v for k, v in override.items()
+                           if k in train_keys}
+        label = ",".join(f"{k}={v}" for k, v in sorted(override.items())) \
+            or "default"
+        _, metric_values, seconds = train_model(
+            model, scale, train_set, test_set,
+            model_overrides=model_overrides,
+            train_overrides=train_overrides,
+        )
+        row = {name: metric_values[name] for name in metrics}
+        row["train_s"] = seconds
+        results[label] = row
+    return results

@@ -1,0 +1,20 @@
+"""Video models: transformers (joint / divided / factorized attention)
+and convolutional / per-frame baselines, all with a shared multi-task
+SDL head."""
+
+from repro.models.config import ModelConfig
+from repro.models.heads import SDLHead
+from repro.models.video_transformer import VideoTransformer
+from repro.models.baselines import C3D, FrameDiffMLP, PerFrameViT
+from repro.models.factory import MODEL_REGISTRY, build_model
+
+__all__ = [
+    "ModelConfig",
+    "SDLHead",
+    "VideoTransformer",
+    "C3D",
+    "PerFrameViT",
+    "FrameDiffMLP",
+    "build_model",
+    "MODEL_REGISTRY",
+]

@@ -1,0 +1,164 @@
+"""Baseline clip models: 3D CNN, per-frame ViT, frame-difference MLP.
+
+These are the comparison points of (reconstructed) Table 1: the C3D-style
+convolutional network models space-time locally, the per-frame ViT has
+no temporal modelling beyond average pooling, and the frame-difference
+MLP is the cheapest motion-aware baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import (
+    Conv3d,
+    Dropout,
+    LayerNorm,
+    Linear,
+    MaxPool3d,
+    Module,
+    Parameter,
+    PatchEmbed2D,
+    ReLU,
+    Sequential,
+    TransformerEncoder,
+)
+from repro.nn import init
+from repro.models.config import ModelConfig
+from repro.models.heads import SDLHead
+from repro.sdl.codec import LabelCodec
+
+
+class C3D(Module):
+    """A small C3D-style network: three conv3d+pool stages and a linear
+    projection to the shared head dimension."""
+
+    def __init__(self, config: Optional[ModelConfig] = None,
+                 codec: Optional[LabelCodec] = None) -> None:
+        super().__init__()
+        cfg = config or ModelConfig()
+        rng = np.random.default_rng(cfg.seed)
+        self.config = cfg
+        base = max(cfg.dim // 4, 8)
+        self.conv1 = Conv3d(cfg.channels, base, kernel_size=3, stride=1,
+                            padding=1, rng=rng)
+        self.pool1 = MaxPool3d((2, 2, 2))
+        self.conv2 = Conv3d(base, base * 2, kernel_size=3, stride=1,
+                            padding=1, rng=rng)
+        self.pool2 = MaxPool3d((2, 2, 2))
+        self.conv3 = Conv3d(base * 2, cfg.dim, kernel_size=3, stride=1,
+                            padding=1, rng=rng)
+        self.drop = Dropout(cfg.dropout, rng=rng)
+        self.proj = Linear(cfg.dim, cfg.dim, rng=rng)
+        self.head = SDLHead(cfg.dim, codec=codec, rng=rng)
+
+    def feature(self, video: Tensor) -> Tensor:
+        if video.ndim != 5:
+            raise ValueError("expected (B, T, C, H, W) input")
+        x = video.transpose(0, 2, 1, 3, 4)  # (B, C, T, H, W)
+        x = F.relu(self.conv1(x))
+        x = self.pool1(x)
+        x = F.relu(self.conv2(x))
+        x = self.pool2(x)
+        x = F.relu(self.conv3(x))
+        x = x.mean(axis=(2, 3, 4))  # global average pool
+        return F.relu(self.proj(self.drop(x)))
+
+    def forward(self, video: Tensor) -> Dict[str, Tensor]:
+        return self.head(self.feature(video))
+
+
+class PerFrameViT(Module):
+    """Spatial-only baseline: a ViT encodes each frame independently and
+    frame features are averaged — no temporal reasoning at all.
+
+    This is the control showing which SDL tags genuinely require
+    spatio-temporal modelling (lane changes, braking, cut-ins).
+    """
+
+    def __init__(self, config: Optional[ModelConfig] = None,
+                 codec: Optional[LabelCodec] = None) -> None:
+        super().__init__()
+        cfg = config or ModelConfig()
+        rng = np.random.default_rng(cfg.seed)
+        self.config = cfg
+        self.embed = PatchEmbed2D(cfg.channels, cfg.patch_size, cfg.dim,
+                                  rng=rng)
+        n_patches = cfg.patches_per_frame
+        self.cls_token = Parameter(init.trunc_normal((1, 1, cfg.dim), rng))
+        self.pos_embed = Parameter(
+            init.trunc_normal((1, n_patches + 1, cfg.dim), rng)
+        )
+        self.encoder = TransformerEncoder(
+            cfg.dim, cfg.depth, cfg.num_heads, cfg.mlp_ratio, cfg.dropout,
+            rng=rng,
+        )
+        self.drop = Dropout(cfg.dropout, rng=rng)
+        self.head = SDLHead(cfg.dim, codec=codec, rng=rng)
+
+    def feature(self, video: Tensor) -> Tensor:
+        if video.ndim != 5:
+            raise ValueError("expected (B, T, C, H, W) input")
+        batch, frames = video.shape[:2]
+        x = self.embed(video)  # (B, T, N, D)
+        n_patches, dim = x.shape[2], x.shape[3]
+        x = x.reshape(batch * frames, n_patches, dim)
+        cls = self.cls_token * Tensor(
+            np.ones((batch * frames, 1, 1), dtype=np.float32)
+        )
+        x = F.concat([cls, x], axis=1) + self.pos_embed
+        x = self.drop(x)
+        x = self.encoder(x)
+        frame_feats = x[:, 0].reshape(batch, frames, dim)
+        return frame_feats.mean(axis=1)
+
+    def forward(self, video: Tensor) -> Dict[str, Tensor]:
+        return self.head(self.feature(video))
+
+
+class FrameDiffMLP(Module):
+    """Cheapest motion-aware baseline: concatenates a spatially pooled
+    intensity summary of the clip with pooled frame differences, then
+    applies a two-layer MLP."""
+
+    def __init__(self, config: Optional[ModelConfig] = None,
+                 codec: Optional[LabelCodec] = None) -> None:
+        super().__init__()
+        cfg = config or ModelConfig()
+        rng = np.random.default_rng(cfg.seed)
+        self.config = cfg
+        # Per-clip feature: channel-wise 4x4 spatial pooling of the mean
+        # frame and of the mean absolute frame difference.
+        self.grid = 4
+        feat_dim = 2 * cfg.channels * self.grid * self.grid
+        self.fc1 = Linear(feat_dim, cfg.dim * 2, rng=rng)
+        self.fc2 = Linear(cfg.dim * 2, cfg.dim, rng=rng)
+        self.drop = Dropout(cfg.dropout, rng=rng)
+        self.head = SDLHead(cfg.dim, codec=codec, rng=rng)
+
+    def _pool(self, x: Tensor) -> Tensor:
+        """(B, C, H, W) -> (B, C * grid * grid) block-average pooling."""
+        batch, channels, height, width = x.shape
+        gh, gw = height // self.grid, width // self.grid
+        x = x.reshape(batch, channels, self.grid, gh, self.grid, gw)
+        x = x.mean(axis=(3, 5))
+        return x.reshape(batch, channels * self.grid * self.grid)
+
+    def feature(self, video: Tensor) -> Tensor:
+        if video.ndim != 5:
+            raise ValueError("expected (B, T, C, H, W) input")
+        mean_frame = video.mean(axis=1)
+        diffs = video[:, 1:] - video[:, :-1]
+        # |diff| via sqrt(x^2 + eps) to stay differentiable.
+        motion = ((diffs * diffs) + 1e-8).sqrt().mean(axis=1)
+        feats = F.concat([self._pool(mean_frame), self._pool(motion)],
+                         axis=1)
+        hidden = F.relu(self.fc1(feats))
+        return F.relu(self.fc2(self.drop(hidden)))
+
+    def forward(self, video: Tensor) -> Dict[str, Tensor]:
+        return self.head(self.feature(video))

@@ -1,0 +1,44 @@
+"""Shared model hyper-parameter bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters shared by all clip models.
+
+    The defaults target the SynthDrive scale (32×32 BEV frames, 16-frame
+    clips) and train in seconds on CPU; every knob scales up.
+    """
+
+    frames: int = 16
+    channels: int = 3
+    height: int = 32
+    width: int = 32
+    dim: int = 48
+    depth: int = 2
+    num_heads: int = 4
+    mlp_ratio: float = 2.0
+    patch_size: int = 8
+    tubelet_size: int = 2
+    dropout: float = 0.1
+    seed: int = 0
+    pool: str = "mean"
+    """Clip-feature pooling for the divided transformer: ``"mean"``
+    (average all tokens) or ``"attention"`` (learned-query attention
+    pooling over tokens)."""
+
+    def __post_init__(self) -> None:
+        if self.height % self.patch_size or self.width % self.patch_size:
+            raise ValueError("frame size must be divisible by patch_size")
+        if self.dim % self.num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+        if self.pool not in ("mean", "attention"):
+            raise ValueError(f"pool must be 'mean' or 'attention', "
+                             f"got {self.pool!r}")
+
+    @property
+    def patches_per_frame(self) -> int:
+        return (self.height // self.patch_size) * (self.width // self.patch_size)

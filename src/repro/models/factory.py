@@ -1,0 +1,32 @@
+"""Model registry used by the benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.models.baselines import C3D, FrameDiffMLP, PerFrameViT
+from repro.models.config import ModelConfig
+from repro.models.video_transformer import VideoTransformer
+from repro.nn import Module
+from repro.sdl.codec import LabelCodec
+
+MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "frame-mlp": lambda cfg, codec: FrameDiffMLP(cfg, codec=codec),
+    "c3d": lambda cfg, codec: C3D(cfg, codec=codec),
+    "frame-vit": lambda cfg, codec: PerFrameViT(cfg, codec=codec),
+    "vt-joint": lambda cfg, codec: VideoTransformer(cfg, "joint", codec=codec),
+    "vt-divided": lambda cfg, codec: VideoTransformer(cfg, "divided",
+                                                      codec=codec),
+    "vt-factorized": lambda cfg, codec: VideoTransformer(cfg, "factorized",
+                                                         codec=codec),
+}
+
+
+def build_model(name: str, config: Optional[ModelConfig] = None,
+                codec: Optional[LabelCodec] = None) -> Module:
+    """Instantiate a registered model by name."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[name](config or ModelConfig(), codec or LabelCodec())

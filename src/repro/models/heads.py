@@ -1,0 +1,38 @@
+"""Multi-task SDL classification head."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import Linear, Module
+from repro.sdl.codec import LabelCodec
+
+
+class SDLHead(Module):
+    """Maps a pooled clip feature to the four SDL logit groups.
+
+    Output: ``{"scene", "ego_action", "actors", "actor_actions"}`` —
+    the two former are softmax heads, the two latter sigmoid multi-label.
+    """
+
+    def __init__(self, dim: int, codec: Optional[LabelCodec] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.codec = codec or LabelCodec()
+        sizes = self.codec.head_sizes
+        self.scene = Linear(dim, sizes["scene"], rng=rng)
+        self.ego_action = Linear(dim, sizes["ego_action"], rng=rng)
+        self.actors = Linear(dim, sizes["actors"], rng=rng)
+        self.actor_actions = Linear(dim, sizes["actor_actions"], rng=rng)
+
+    def forward(self, feature: Tensor) -> Dict[str, Tensor]:
+        return {
+            "scene": self.scene(feature),
+            "ego_action": self.ego_action(feature),
+            "actors": self.actors(feature),
+            "actor_actions": self.actor_actions(feature),
+        }

@@ -1,0 +1,38 @@
+"""Neural-network layers on top of ``repro.autograd``.
+
+Provides a compact PyTorch-like module system plus the specific layers
+needed by video transformers and convolutional baselines.
+"""
+
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Tanh
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import MLP, TransformerEncoder, TransformerEncoderLayer
+from repro.nn.patches import PatchEmbed2D, TubeletEmbed
+from repro.nn.conv import Conv2d, Conv3d, MaxPool2d, MaxPool3d
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "MultiHeadAttention",
+    "MLP",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "PatchEmbed2D",
+    "TubeletEmbed",
+    "Conv2d",
+    "Conv3d",
+    "MaxPool2d",
+    "MaxPool3d",
+    "init",
+]

@@ -1,0 +1,74 @@
+"""Multi-head scaled dot-product attention."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+
+NEG_INF = -1e9
+
+
+class MultiHeadAttention(Module):
+    """Self-attention over token sequences ``(B, N, D)``.
+
+    Splits ``dim`` into ``num_heads`` heads, computes scaled dot-product
+    attention per head, and projects back.  An optional boolean mask of
+    shape ``(N, N)`` or ``(B, N, N)`` marks *allowed* attention pairs.
+    """
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.qkv = Linear(dim, 3 * dim, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, n_tokens, dim = x.shape
+        qkv = self.qkv(x)  # (B, N, 3D)
+        qkv = qkv.reshape(batch, n_tokens, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, N, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, H, N, N)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim == 2:
+                bias = np.where(mask, 0.0, NEG_INF).astype(np.float32)
+            elif mask.ndim == 3:
+                bias = np.where(mask[:, None], 0.0, NEG_INF).astype(np.float32)
+            else:
+                raise ValueError("mask must be (N, N) or (B, N, N)")
+            scores = scores + Tensor(bias)
+        attn = F.softmax(scores, axis=-1)
+        attn = self.attn_dropout(attn)
+        out = attn @ v  # (B, H, N, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, n_tokens, dim)
+        return self.proj(out)
+
+    def attention_map(self, x: Tensor) -> np.ndarray:
+        """Return the softmax attention weights ``(B, H, N, N)`` without
+        recording the graph — used for attention-rollout analysis."""
+        from repro.autograd import no_grad
+
+        with no_grad():
+            batch, n_tokens, _ = x.shape
+            qkv = self.qkv(x).reshape(
+                batch, n_tokens, 3, self.num_heads, self.head_dim
+            ).transpose(2, 0, 3, 1, 4)
+            q, k = qkv[0], qkv[1]
+            scores = (q @ k.swapaxes(-1, -2)) * self.scale
+            return F.softmax(scores, axis=-1).data

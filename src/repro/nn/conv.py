@@ -1,0 +1,78 @@
+"""Convolution and pooling module wrappers around repro.autograd.convops."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.convops import conv_nd, max_pool_nd
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class _ConvNd(Module):
+    spatial_dims: int = 0
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size,) * self.spatial_dims
+        kernel_size = tuple(kernel_size)
+        if len(kernel_size) != self.spatial_dims:
+            raise ValueError(
+                f"kernel_size must have {self.spatial_dims} entries"
+            )
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels) + kernel_size
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != self.spatial_dims + 2:
+            raise ValueError(
+                f"expected input rank {self.spatial_dims + 2}, got {x.ndim}"
+            )
+        return conv_nd(x, self.weight, self.bias, self.stride, self.padding)
+
+
+class Conv2d(_ConvNd):
+    """2D convolution over ``(B, C, H, W)``."""
+
+    spatial_dims = 2
+
+
+class Conv3d(_ConvNd):
+    """3D convolution over ``(B, C, T, H, W)`` — the C3D building block."""
+
+    spatial_dims = 3
+
+
+class _MaxPoolNd(Module):
+    spatial_dims: int = 0
+
+    def __init__(self, kernel_size) -> None:
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size,) * self.spatial_dims
+        self.kernel_size = tuple(kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool_nd(x, self.kernel_size)
+
+
+class MaxPool2d(_MaxPoolNd):
+    """Non-overlapping 2D max pooling (kernel == stride)."""
+
+    spatial_dims = 2
+
+
+class MaxPool3d(_MaxPoolNd):
+    """Non-overlapping 3D max pooling (kernel == stride)."""
+
+    spatial_dims = 3

@@ -1,0 +1,93 @@
+"""Patch / tubelet embeddings mapping video clips to token sequences.
+
+Implemented with reshapes plus a Linear projection (equivalent to the
+conv-with-stride formulation for non-overlapping patches, but much faster
+in numpy).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+def _check_divisible(size: int, patch: int, what: str) -> None:
+    if size % patch != 0:
+        raise ValueError(f"{what} {size} not divisible by patch size {patch}")
+
+
+class PatchEmbed2D(Module):
+    """Per-frame spatial patching: ``(B, T, C, H, W)`` →
+    ``(B, T, N_patches, dim)``.
+
+    Used by per-frame ViT baselines and by divided space-time attention,
+    where each frame contributes ``(H/p)·(W/p)`` tokens.
+    """
+
+    def __init__(self, in_channels: int, patch_size: int, dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.patch_size = patch_size
+        self.in_channels = in_channels
+        self.proj = Linear(in_channels * patch_size * patch_size, dim, rng=rng)
+
+    def num_patches(self, height: int, width: int) -> int:
+        """Tokens per frame for the given frame size."""
+        _check_divisible(height, self.patch_size, "height")
+        _check_divisible(width, self.patch_size, "width")
+        return (height // self.patch_size) * (width // self.patch_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, frames, channels, height, width = x.shape
+        p = self.patch_size
+        _check_divisible(height, p, "height")
+        _check_divisible(width, p, "width")
+        nh, nw = height // p, width // p
+        # (B, T, C, nh, p, nw, p) -> (B, T, nh, nw, C, p, p) -> tokens
+        x = x.reshape(batch, frames, channels, nh, p, nw, p)
+        x = x.transpose(0, 1, 3, 5, 2, 4, 6)
+        x = x.reshape(batch, frames, nh * nw, channels * p * p)
+        return self.proj(x)
+
+
+class TubeletEmbed(Module):
+    """Spatio-temporal tubelet patching: ``(B, T, C, H, W)`` →
+    ``(B, (T/t)·(H/p)·(W/p), dim)``.
+
+    The ViViT-style embedding for joint space-time token sequences.
+    """
+
+    def __init__(self, in_channels: int, patch_size: int, tubelet_size: int,
+                 dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.patch_size = patch_size
+        self.tubelet_size = tubelet_size
+        self.in_channels = in_channels
+        self.proj = Linear(
+            in_channels * tubelet_size * patch_size * patch_size, dim, rng=rng
+        )
+
+    def grid_shape(self, frames: int, height: int,
+                   width: int) -> Tuple[int, int, int]:
+        _check_divisible(frames, self.tubelet_size, "frames")
+        _check_divisible(height, self.patch_size, "height")
+        _check_divisible(width, self.patch_size, "width")
+        return (
+            frames // self.tubelet_size,
+            height // self.patch_size,
+            width // self.patch_size,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, frames, channels, height, width = x.shape
+        t, p = self.tubelet_size, self.patch_size
+        nt, nh, nw = self.grid_shape(frames, height, width)
+        x = x.reshape(batch, nt, t, channels, nh, p, nw, p)
+        x = x.transpose(0, 1, 4, 6, 3, 2, 5, 7)
+        x = x.reshape(batch, nt * nh * nw, channels * t * p * p)
+        return self.proj(x)

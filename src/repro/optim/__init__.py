@@ -1,0 +1,21 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.optimizers import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from repro.optim.schedulers import (
+    ConstantLR,
+    CosineWithWarmup,
+    LRSchedule,
+    StepLR,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "LRSchedule",
+    "ConstantLR",
+    "CosineWithWarmup",
+    "StepLR",
+]

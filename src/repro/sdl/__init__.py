@@ -1,0 +1,36 @@
+"""Scenario Description Language (SDL).
+
+Follows the Scene / Actors / Actions decomposition of the authors' prior
+Scenario2Vector work: a traffic scenario is described by the scene type,
+the set of actor categories present, the ego manoeuvre, and the set of
+other-actor behaviours.  This package provides the vocabulary, the
+description dataclass (with sentence generation and serialisation), the
+rule-based ground-truth annotator over simulator state, the label codec
+used by the models, and SDL embeddings/similarity for retrieval.
+"""
+
+from repro.sdl.vocabulary import (
+    ACTOR_ACTIONS,
+    ACTOR_TYPES,
+    EGO_ACTIONS,
+    SCENES,
+    Vocabulary,
+)
+from repro.sdl.description import ScenarioDescription
+from repro.sdl.annotator import AnnotatorConfig, annotate
+from repro.sdl.codec import LabelCodec
+from repro.sdl.similarity import sdl_similarity, sdl_vector
+
+__all__ = [
+    "SCENES",
+    "ACTOR_TYPES",
+    "EGO_ACTIONS",
+    "ACTOR_ACTIONS",
+    "Vocabulary",
+    "ScenarioDescription",
+    "annotate",
+    "AnnotatorConfig",
+    "LabelCodec",
+    "sdl_vector",
+    "sdl_similarity",
+]

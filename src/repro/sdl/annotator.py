@@ -1,0 +1,246 @@
+"""Rule-based ground-truth SDL annotation over simulator snapshots.
+
+This is the synthetic stand-in for human annotation: it inspects the
+exact world state recorded by :class:`repro.sim.world.World` and derives
+the clip-level :class:`~repro.sdl.description.ScenarioDescription`.
+The rules only look at physically observable quantities (poses, speeds,
+accelerations, lane offsets), never at which scenario script generated
+the clip — so annotation is honest with respect to the rendered video.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sdl.description import ScenarioDescription
+from repro.sim.world import AgentState, Snapshot
+
+
+@dataclass(frozen=True)
+class AnnotatorConfig:
+    lane_width: float = 3.5
+    visibility_range: float = 35.0     # actor-presence radius (m)
+    lead_range: float = 30.0           # "leading" max bumper gap (m)
+    turn_threshold: float = np.pi / 4  # total heading change for a turn
+    lane_change_threshold: float = 1.75
+    stop_speed: float = 0.5
+    moving_speed: float = 2.0
+    decel_delta: float = 3.0           # speed drop (m/s) for "decelerate"
+    accel_delta: float = 3.0
+    brake_accel: float = -2.0          # leader accel for "braking"
+    min_presence: float = 0.1          # fraction of frames for presence
+
+
+def _ego_states(snapshots: Sequence[Snapshot]) -> List[AgentState]:
+    states = []
+    for snap in snapshots:
+        ego = next((a for a in snap.agents.values() if a.is_ego), None)
+        if ego is None:
+            raise LookupError("snapshot without ego agent")
+        states.append(ego)
+    return states
+
+
+def _relative(agent: AgentState, ego: AgentState):
+    """(forward, lateral) position of ``agent`` in the ego frame."""
+    dx, dy = agent.x - ego.x, agent.y - ego.y
+    cos_h, sin_h = np.cos(ego.heading), np.sin(ego.heading)
+    return dx * cos_h + dy * sin_h, -dx * sin_h + dy * cos_h
+
+
+def _ego_action(ego_track: List[AgentState], cfg: AnnotatorConfig) -> str:
+    headings = np.unwrap([e.heading for e in ego_track])
+    speeds = np.array([e.speed for e in ego_track])
+    offsets = np.array([e.lane_offset for e in ego_track])
+
+    heading_change = headings[-1] - headings[0]
+    if heading_change > cfg.turn_threshold:
+        return "turn-left"
+    if heading_change < -cfg.turn_threshold:
+        return "turn-right"
+
+    offset_change = offsets[-1] - offsets[0]
+    if offset_change > cfg.lane_change_threshold:
+        return "lane-change-left"
+    if offset_change < -cfg.lane_change_threshold:
+        return "lane-change-right"
+
+    if speeds.min() < cfg.stop_speed and speeds[0] > cfg.moving_speed:
+        return "stop"
+    if speeds[0] - speeds.min() > cfg.decel_delta:
+        return "decelerate"
+    if speeds[-1] - speeds[0] > cfg.accel_delta:
+        return "accelerate"
+    return "drive-straight"
+
+
+def _visible_fraction(snapshots, name: str, cfg: AnnotatorConfig) -> float:
+    seen = 0
+    for snap in snapshots:
+        ego = next(a for a in snap.agents.values() if a.is_ego)
+        agent = snap.agents.get(name)
+        if agent is None:
+            continue
+        if np.hypot(agent.x - ego.x, agent.y - ego.y) < cfg.visibility_range:
+            seen += 1
+    return seen / len(snapshots)
+
+
+def _actor_names(snapshots, kind: str) -> set:
+    names = set()
+    for snap in snapshots:
+        for agent in snap.agents.values():
+            if not agent.is_ego and agent.kind == kind:
+                names.add(agent.name)
+    return names
+
+
+def _leading_frames(snapshots, name: str, cfg: AnnotatorConfig):
+    """Per-frame flags: is ``name`` the same-lane vehicle ahead of ego?"""
+    flags = []
+    accels = []
+    for snap in snapshots:
+        ego = next(a for a in snap.agents.values() if a.is_ego)
+        agent = snap.agents.get(name)
+        ok = False
+        if agent is not None and agent.route_group == ego.route_group:
+            gap = agent.s - ego.s - (agent.length + ego.length) / 2
+            same_lane = abs(agent.lane_offset - ego.lane_offset) \
+                < cfg.lane_width / 2
+            ok = same_lane and 0.0 < gap < cfg.lead_range
+        flags.append(ok)
+        accels.append(agent.accel if agent is not None else 0.0)
+    return np.array(flags), np.array(accels)
+
+
+def _detect_cut_in(snapshots, name: str, cfg: AnnotatorConfig) -> bool:
+    rel_offsets = []
+    own_offsets = []
+    forwards = []
+    for snap in snapshots:
+        ego = next(a for a in snap.agents.values() if a.is_ego)
+        agent = snap.agents.get(name)
+        if agent is None or agent.route_group != ego.route_group:
+            return False
+        rel_offsets.append(agent.lane_offset - ego.lane_offset)
+        own_offsets.append(agent.lane_offset)
+        forwards.append(agent.s - ego.s)
+    rel_offsets = np.abs(np.array(rel_offsets))
+    own_offsets = np.array(own_offsets)
+    forwards = np.array(forwards)
+    started_beside = rel_offsets[0] > cfg.lane_width * 0.6
+    ends_in_lane = rel_offsets[-1] < cfg.lane_width * 0.3
+    moved_itself = abs(own_offsets[-1] - own_offsets[0]) > cfg.lane_width * 0.5
+    near_ego = bool(np.any((forwards > 0) & (forwards < 25.0)))
+    return started_beside and ends_in_lane and moved_itself and near_ego
+
+
+def _detect_oncoming(snapshots, name: str, cfg: AnnotatorConfig) -> bool:
+    for snap in snapshots:
+        ego = next(a for a in snap.agents.values() if a.is_ego)
+        agent = snap.agents.get(name)
+        if agent is None:
+            continue
+        forward, lateral = _relative(agent, ego)
+        heading_diff = abs(
+            (agent.heading - ego.heading + np.pi) % (2 * np.pi) - np.pi
+        )
+        if (heading_diff > 2 * np.pi / 3 and 0 < forward < 60.0
+                and abs(lateral) < 3 * cfg.lane_width and agent.speed > 1.0):
+            return True
+    return False
+
+
+def _detect_stopped(snapshots, name: str, cfg: AnnotatorConfig) -> bool:
+    hits = 0
+    for snap in snapshots:
+        ego = next(a for a in snap.agents.values() if a.is_ego)
+        agent = snap.agents.get(name)
+        if agent is None:
+            continue
+        forward, lateral = _relative(agent, ego)
+        if (agent.speed < 0.3 and 0 < forward < 40.0
+                and abs(lateral) < 1.5 * cfg.lane_width):
+            hits += 1
+    return hits / len(snapshots) > 0.4
+
+
+def _detect_crossing(snapshots, name: str, cfg: AnnotatorConfig) -> bool:
+    laterals = []
+    for snap in snapshots:
+        ego = next(a for a in snap.agents.values() if a.is_ego)
+        agent = snap.agents.get(name)
+        if agent is None:
+            continue
+        forward, lateral = _relative(agent, ego)
+        if 0 < forward < cfg.visibility_range:
+            laterals.append(lateral)
+    if len(laterals) < 3:
+        return False
+    laterals = np.array(laterals)
+    span = laterals.max() - laterals.min()
+    crossed_center = laterals.min() < 0.5 * cfg.lane_width
+    return span > 2.0 and crossed_center
+
+
+def _light_visible(snapshots, cfg: AnnotatorConfig) -> bool:
+    for snap in snapshots:
+        if snap.light_state is None or snap.light_position is None:
+            continue
+        ego = next(a for a in snap.agents.values() if a.is_ego)
+        dist = np.hypot(snap.light_position[0] - ego.x,
+                        snap.light_position[1] - ego.y)
+        if dist < cfg.visibility_range + 5.0:
+            return True
+    return False
+
+
+def annotate(snapshots: Sequence[Snapshot],
+             config: Optional[AnnotatorConfig] = None) -> ScenarioDescription:
+    """Derive the clip-level SDL description from ground-truth snapshots."""
+    if not snapshots:
+        raise ValueError("cannot annotate an empty snapshot sequence")
+    cfg = config or AnnotatorConfig()
+    ego_track = _ego_states(snapshots)
+
+    scene = snapshots[len(snapshots) // 2].scene
+    ego_action = _ego_action(ego_track, cfg)
+
+    actors = set()
+    actor_actions = set()
+
+    for name in _actor_names(snapshots, "vehicle"):
+        if _visible_fraction(snapshots, name, cfg) < cfg.min_presence:
+            continue
+        actors.add("car")
+        lead_flags, accels = _leading_frames(snapshots, name, cfg)
+        if lead_flags.mean() > 0.25:
+            actor_actions.add("leading")
+            if np.any(lead_flags & (accels < cfg.brake_accel)):
+                actor_actions.add("braking")
+        if _detect_cut_in(snapshots, name, cfg):
+            actor_actions.add("cutting-in")
+        if _detect_oncoming(snapshots, name, cfg):
+            actor_actions.add("oncoming")
+        if _detect_stopped(snapshots, name, cfg):
+            actor_actions.add("stopped")
+
+    for name in _actor_names(snapshots, "pedestrian"):
+        if _visible_fraction(snapshots, name, cfg) < cfg.min_presence:
+            continue
+        actors.add("pedestrian")
+        if _detect_crossing(snapshots, name, cfg):
+            actor_actions.add("crossing")
+
+    if _light_visible(snapshots, cfg):
+        actors.add("traffic-light")
+
+    return ScenarioDescription(
+        scene=scene,
+        ego_action=ego_action,
+        actors=frozenset(actors),
+        actor_actions=frozenset(actor_actions),
+    )

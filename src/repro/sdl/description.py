@@ -1,0 +1,139 @@
+"""The :class:`ScenarioDescription` record: one clip's SDL annotation."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from repro.sdl.vocabulary import (
+    ACTOR_ACTIONS,
+    ACTOR_TYPES,
+    DEFAULT_VOCABULARY,
+    EGO_ACTIONS,
+    SCENES,
+)
+
+_ACTION_PHRASES = {
+    "drive-straight": "drives straight",
+    "decelerate": "decelerates",
+    "stop": "comes to a stop",
+    "accelerate": "accelerates",
+    "lane-change-left": "changes lanes to the left",
+    "lane-change-right": "changes lanes to the right",
+    "turn-left": "turns left",
+    "turn-right": "turns right",
+}
+
+_ACTOR_ACTION_PHRASES = {
+    "leading": "a vehicle is leading the ego",
+    "braking": "the lead vehicle brakes",
+    "cutting-in": "a vehicle cuts in front of the ego",
+    "crossing": "a pedestrian crosses the road",
+    "oncoming": "a vehicle approaches in the oncoming lane",
+    "stopped": "a stopped vehicle blocks the lane ahead",
+}
+
+_SCENE_PHRASES = {
+    "straight-road": "on a straight road",
+    "intersection": "at an intersection",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioDescription:
+    """Structured description of one traffic scenario clip.
+
+    - ``scene`` — one of :data:`~repro.sdl.vocabulary.SCENES`;
+    - ``actors`` — the actor categories present (besides the ego);
+    - ``ego_action`` — the primary ego manoeuvre;
+    - ``actor_actions`` — behaviours exhibited by other actors.
+    """
+
+    scene: str
+    ego_action: str
+    actors: FrozenSet[str] = frozenset()
+    actor_actions: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.scene not in SCENES:
+            raise ValueError(f"unknown scene {self.scene!r}")
+        if self.ego_action not in EGO_ACTIONS:
+            raise ValueError(f"unknown ego action {self.ego_action!r}")
+        unknown_actors = set(self.actors) - set(ACTOR_TYPES)
+        if unknown_actors:
+            raise ValueError(f"unknown actors {sorted(unknown_actors)}")
+        unknown_actions = set(self.actor_actions) - set(ACTOR_ACTIONS)
+        if unknown_actions:
+            raise ValueError(f"unknown actor actions {sorted(unknown_actions)}")
+        # Normalise iterables to frozensets.
+        object.__setattr__(self, "actors", frozenset(self.actors))
+        object.__setattr__(self, "actor_actions",
+                           frozenset(self.actor_actions))
+
+    # -- NLG -------------------------------------------------------------
+    def to_sentence(self) -> str:
+        """Template natural-language rendering of the description."""
+        parts = [
+            f"{_SCENE_PHRASES[self.scene].capitalize()}, "
+            f"the ego vehicle {_ACTION_PHRASES[self.ego_action]}"
+        ]
+        events = [_ACTOR_ACTION_PHRASES[a]
+                  for a in sorted(self.actor_actions)]
+        if events:
+            parts.append(" while " + " and ".join(events))
+        residual = sorted(
+            self.actors - self._actors_implied_by_actions()
+        )
+        if residual:
+            parts.append("; visible: " + ", ".join(residual))
+        return "".join(parts) + "."
+
+    def _actors_implied_by_actions(self) -> FrozenSet[str]:
+        implied = set()
+        if self.actor_actions & {"leading", "braking", "cutting-in",
+                                 "oncoming", "stopped"}:
+            implied.add("car")
+        if "crossing" in self.actor_actions:
+            implied.add("pedestrian")
+        return frozenset(implied)
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "scene": self.scene,
+            "ego_action": self.ego_action,
+            "actors": sorted(self.actors),
+            "actor_actions": sorted(self.actor_actions),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ScenarioDescription":
+        return cls(
+            scene=payload["scene"],
+            ego_action=payload["ego_action"],
+            actors=frozenset(payload.get("actors", ())),
+            actor_actions=frozenset(payload.get("actor_actions", ())),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ScenarioDescription":
+        return cls.from_dict(json.loads(payload))
+
+    # -- transforms -----------------------------------------------------
+    def mirrored(self) -> "ScenarioDescription":
+        """The description of the horizontally flipped clip."""
+        return ScenarioDescription(
+            scene=self.scene,
+            ego_action=DEFAULT_VOCABULARY.mirrored_ego_action(self.ego_action),
+            actors=self.actors,
+            actor_actions=self.actor_actions,
+        )
+
+    def all_tags(self) -> FrozenSet[str]:
+        """Every tag in the description (used by set-based similarity)."""
+        return frozenset({self.scene, self.ego_action}
+                         | self.actors | self.actor_actions)

@@ -1,0 +1,168 @@
+"""Per-frame tag timelines: the temporal-localization ground truth.
+
+While :func:`repro.sdl.annotator.annotate` produces one description per
+clip, scenario *timeline* extraction (sliding a window over a long
+drive) needs frame-level ground truth.  This module derives boolean
+per-snapshot tracks for the event tags, using the same physically
+observable signals as the clip annotator.
+
+Timeline tags collapse the left/right distinction (``lane-change``,
+``turn``) because a per-frame track records *that* a manoeuvre is in
+progress; its direction is a clip-level attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.sdl.annotator import AnnotatorConfig, _relative
+from repro.sdl.description import ScenarioDescription
+from repro.sim.world import Snapshot
+
+TIMELINE_TAGS = (
+    "stop",
+    "decelerate",
+    "lane-change",
+    "turn",
+    "leading",
+    "braking",
+    "cutting-in",
+    "crossing",
+    "oncoming",
+    "stopped",
+)
+
+
+@dataclass
+class TagTimeline:
+    """Boolean per-snapshot tracks, one per timeline tag."""
+
+    tracks: Dict[str, np.ndarray]
+    dt: float
+
+    @property
+    def length(self) -> int:
+        return len(next(iter(self.tracks.values())))
+
+    def active_tags(self, index: int) -> frozenset:
+        return frozenset(tag for tag, track in self.tracks.items()
+                         if track[index])
+
+    def intervals(self, tag: str):
+        """Contiguous (start, end) index intervals where ``tag`` holds
+        (end exclusive)."""
+        track = self.tracks[tag]
+        edges = np.flatnonzero(np.diff(track.astype(np.int8)))
+        starts = list(edges[track[edges + 1]] + 1) if len(edges) else []
+        ends = list(edges[~track[edges + 1]] + 1) if len(edges) else []
+        if track[0]:
+            starts.insert(0, 0)
+        if track[-1]:
+            ends.append(len(track))
+        return list(zip(starts, ends))
+
+    def subsample(self, indices: Sequence[int]) -> "TagTimeline":
+        indices = np.asarray(indices)
+        return TagTimeline(
+            tracks={tag: track[indices]
+                    for tag, track in self.tracks.items()},
+            dt=self.dt,
+        )
+
+    @classmethod
+    def concatenate(cls, timelines: Sequence["TagTimeline"]) -> "TagTimeline":
+        if not timelines:
+            raise ValueError("nothing to concatenate")
+        tracks = {
+            tag: np.concatenate([t.tracks[tag] for t in timelines])
+            for tag in timelines[0].tracks
+        }
+        return cls(tracks=tracks, dt=timelines[0].dt)
+
+
+def description_to_timeline_tags(desc: ScenarioDescription) -> frozenset:
+    """Map a clip description onto the timeline tag set (used to turn
+    sliding-window descriptions into frame-level predictions)."""
+    tags = set()
+    if desc.ego_action in ("stop",):
+        tags.add("stop")
+    if desc.ego_action == "decelerate":
+        tags.add("decelerate")
+    if desc.ego_action in ("lane-change-left", "lane-change-right"):
+        tags.add("lane-change")
+    if desc.ego_action in ("turn-left", "turn-right"):
+        tags.add("turn")
+    tags |= set(desc.actor_actions) & set(TIMELINE_TAGS)
+    return frozenset(tags)
+
+
+def annotate_timeline(snapshots: Sequence[Snapshot],
+                      config: Optional[AnnotatorConfig] = None,
+                      dt: float = 0.1) -> TagTimeline:
+    """Derive per-snapshot boolean tracks from ground-truth snapshots."""
+    if not snapshots:
+        raise ValueError("cannot annotate an empty snapshot sequence")
+    cfg = config or AnnotatorConfig()
+    n = len(snapshots)
+    tracks = {tag: np.zeros(n, dtype=bool) for tag in TIMELINE_TAGS}
+
+    egos = []
+    for snap in snapshots:
+        ego = next((a for a in snap.agents.values() if a.is_ego), None)
+        if ego is None:
+            raise LookupError("snapshot without ego agent")
+        egos.append(ego)
+    speeds = np.array([e.speed for e in egos])
+    offsets = np.array([e.lane_offset for e in egos])
+    headings = np.unwrap([e.heading for e in egos])
+
+    # Ego kinematic tracks.
+    tracks["stop"] = speeds < cfg.stop_speed
+    accel = np.gradient(speeds, dt)
+    tracks["decelerate"] = (accel < -1.0) & ~tracks["stop"]
+    lateral_rate = np.abs(np.gradient(offsets, dt))
+    tracks["lane-change"] = lateral_rate > 0.3
+    yaw_rate = np.abs(np.gradient(headings, dt))
+    tracks["turn"] = yaw_rate > 0.05
+
+    # Actor tracks.
+    for i, snap in enumerate(snapshots):
+        ego = egos[i]
+        for agent in snap.agents.values():
+            if agent.is_ego:
+                continue
+            forward, lateral = _relative(agent, ego)
+            if agent.kind == "pedestrian":
+                in_corridor = (0 < forward < cfg.visibility_range
+                               and abs(lateral) < 1.5 * cfg.lane_width)
+                if in_corridor and agent.speed > 0.2:
+                    tracks["crossing"][i] = True
+                continue
+            same_group = agent.route_group == ego.route_group
+            gap = agent.s - ego.s - (agent.length + ego.length) / 2
+            same_lane = abs(agent.lane_offset - ego.lane_offset) \
+                < cfg.lane_width / 2
+            if same_group and same_lane and 0 < gap < cfg.lead_range:
+                tracks["leading"][i] = True
+                if agent.accel < cfg.brake_accel:
+                    tracks["braking"][i] = True
+                if agent.speed < 0.3:
+                    tracks["stopped"][i] = True
+            if (same_group and not same_lane
+                    and 0 < gap < 25.0
+                    and abs(agent.lane_offset - agent.target_offset) > 0.3
+                    and abs(agent.target_offset - ego.lane_offset)
+                    < cfg.lane_width / 2):
+                tracks["cutting-in"][i] = True
+            heading_diff = abs(
+                (agent.heading - ego.heading + np.pi) % (2 * np.pi) - np.pi
+            )
+            if (heading_diff > 2 * np.pi / 3 and 0 < forward < 60.0
+                    and abs(lateral) < 3 * cfg.lane_width
+                    and agent.speed > 1.0):
+                tracks["oncoming"][i] = True
+
+    return TagTimeline(tracks=tracks, dt=dt)

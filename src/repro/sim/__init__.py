@@ -1,0 +1,38 @@
+"""Traffic microsimulation + BEV video rendering.
+
+This package is the synthetic substitute for real driving-video datasets
+(see DESIGN.md §2): a 2D world with IDM-controlled vehicles, kinematic
+lane changes, pedestrians and a signalised intersection, rendered to
+ego-centred bird's-eye-view clips with exact ground-truth state.
+"""
+
+from repro.sim.path import Path, straight_path, turn_path
+from repro.sim.idm import IDMParams, idm_acceleration
+from repro.sim.agents import Pedestrian, TrafficLight, Vehicle
+from repro.sim.world import World, WorldConfig
+from repro.sim.render import BEVRenderer, RenderConfig
+from repro.sim.scenarios import (
+    SCENARIO_FAMILIES,
+    ScenarioRecording,
+    build_scenario,
+    simulate_scenario,
+)
+
+__all__ = [
+    "Path",
+    "straight_path",
+    "turn_path",
+    "IDMParams",
+    "idm_acceleration",
+    "Vehicle",
+    "Pedestrian",
+    "TrafficLight",
+    "World",
+    "WorldConfig",
+    "BEVRenderer",
+    "RenderConfig",
+    "SCENARIO_FAMILIES",
+    "ScenarioRecording",
+    "build_scenario",
+    "simulate_scenario",
+]

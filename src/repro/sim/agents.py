@@ -1,0 +1,168 @@
+"""Agents: IDM vehicles with scheduled manoeuvres, pedestrians, lights."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.idm import IDMParams
+from repro.sim.path import Path
+
+
+@dataclass
+class BrakeOverride:
+    """Replace IDM longitudinal control with a fixed acceleration during
+    ``[t_start, t_end)`` — used to script hard-braking leaders."""
+
+    t_start: float
+    t_end: float
+    accel: float
+
+
+@dataclass
+class LaneChangeCommand:
+    """At time ``t``, start moving the lateral offset to ``target``."""
+
+    t: float
+    target: float
+
+
+class Vehicle:
+    """A vehicle following a :class:`Path` under IDM longitudinal control.
+
+    Lateral position is a signed offset from the path centerline; lane
+    changes animate the offset toward a target at a fixed lateral rate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        path: Path,
+        s: float,
+        speed: float,
+        lane_offset: float = 0.0,
+        idm: Optional[IDMParams] = None,
+        length: float = 4.5,
+        width: float = 2.0,
+        is_ego: bool = False,
+        route_group: str = "main",
+        lateral_rate: float = 1.2,
+    ) -> None:
+        self.name = name
+        self.path = path
+        self.s = float(s)
+        self.speed = float(speed)
+        self.lane_offset = float(lane_offset)
+        self.target_offset = float(lane_offset)
+        self.idm = idm or IDMParams()
+        self.length = length
+        self.width = width
+        self.is_ego = is_ego
+        self.route_group = route_group
+        self.lateral_rate = lateral_rate
+        self.accel = 0.0
+        self.brake_overrides: List[BrakeOverride] = []
+        self.lane_commands: List[LaneChangeCommand] = []
+        self.stop_at_s: Optional[float] = None  # stop line (set by world)
+        # Autonomous lane changing (MOBIL); see repro.sim.mobil.
+        self.auto_lane_change: bool = False
+        self.allowed_lanes: tuple = (0,)
+        self.last_lane_decision_t: float = -1e9
+
+    # -- scripting ------------------------------------------------------
+    def schedule_brake(self, t_start: float, t_end: float, accel: float) -> None:
+        self.brake_overrides.append(BrakeOverride(t_start, t_end, accel))
+
+    def schedule_lane_change(self, t: float, target_offset: float) -> None:
+        self.lane_commands.append(LaneChangeCommand(t, target_offset))
+
+    # -- queries ---------------------------------------------------------
+    def pose(self) -> Tuple[float, float, float]:
+        return self.path.pose(self.s, self.lane_offset)
+
+    def effective_lane(self, lane_width: float) -> int:
+        """Nearest lane index implied by the current lateral offset."""
+        return int(round(self.lane_offset / lane_width))
+
+    def active_brake(self, t: float) -> Optional[float]:
+        for override in self.brake_overrides:
+            if override.t_start <= t < override.t_end:
+                return override.accel
+        return None
+
+    def is_changing_lane(self, tol: float = 0.05) -> bool:
+        return abs(self.lane_offset - self.target_offset) > tol
+
+    # -- dynamics (called by World) ---------------------------------------
+    def apply_lane_commands(self, t: float) -> None:
+        for cmd in self.lane_commands:
+            if cmd.t <= t:
+                self.target_offset = cmd.target
+        self.lane_commands = [c for c in self.lane_commands if c.t > t]
+
+    def integrate(self, accel: float, dt: float) -> None:
+        self.accel = accel
+        self.speed = max(0.0, self.speed + accel * dt)
+        self.s += self.speed * dt
+        delta = self.target_offset - self.lane_offset
+        max_step = self.lateral_rate * dt
+        self.lane_offset += float(np.clip(delta, -max_step, max_step))
+
+
+class Pedestrian:
+    """A pedestrian walking a straight line, active in a time window."""
+
+    def __init__(self, name: str, start: Tuple[float, float],
+                 velocity: Tuple[float, float], t_start: float = 0.0,
+                 t_end: float = np.inf, size: float = 0.8) -> None:
+        self.name = name
+        self.start = np.asarray(start, dtype=np.float64)
+        self.velocity = np.asarray(velocity, dtype=np.float64)
+        self.t_start = t_start
+        self.t_end = t_end
+        self.size = size
+
+    def position(self, t: float) -> np.ndarray:
+        t_eff = float(np.clip(t, self.t_start, self.t_end)) - self.t_start
+        return self.start + self.velocity * t_eff
+
+    def is_active(self, t: float) -> bool:
+        return self.t_start <= t <= self.t_end
+
+    def is_moving(self, t: float) -> bool:
+        return (self.t_start <= t < self.t_end
+                and float(np.hypot(*self.velocity)) > 1e-6)
+
+
+class TrafficLight:
+    """A stop-line traffic light with a scripted phase timeline.
+
+    ``phases`` is a list of ``(state, duration)`` pairs cycled forever,
+    e.g. ``[("red", 8.0), ("green", 12.0)]``.
+    """
+
+    STATES = ("red", "green")
+
+    def __init__(self, stop_s: float, position: Tuple[float, float],
+                 phases: List[Tuple[str, float]]) -> None:
+        if not phases:
+            raise ValueError("traffic light needs at least one phase")
+        for state, duration in phases:
+            if state not in self.STATES:
+                raise ValueError(f"unknown light state {state!r}")
+            if duration <= 0:
+                raise ValueError("phase durations must be positive")
+        self.stop_s = stop_s
+        self.position = np.asarray(position, dtype=np.float64)
+        self.phases = phases
+        self.cycle = sum(d for _, d in phases)
+
+    def state(self, t: float) -> str:
+        t = t % self.cycle
+        for state, duration in self.phases:
+            if t < duration:
+                return state
+            t -= duration
+        return self.phases[-1][0]

@@ -1,0 +1,239 @@
+"""Perspective (dashcam-style) renderer.
+
+An alternative to the BEV rasteriser that is closer to the paper's real
+input modality: a pinhole camera mounted on the ego vehicle looking
+forward.  The 2D world is lifted to 3D (agents become boxes with a
+height), ground pixels are inverse-projected onto the road plane, and
+agent boxes are painted back-to-front.
+
+Channel semantics match :mod:`repro.sim.render`: channel 0 vehicles,
+channel 1 pedestrians + stop line, channel 2 road/markings (the ego
+itself is not visible from its own camera — the hood line at the image
+bottom is drawn in channel 2 instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.render import (
+    GREEN_LIGHT_VALUE,
+    MARKING_VALUE,
+    PEDESTRIAN_CHANNEL,
+    RED_LIGHT_VALUE,
+    ROAD_CHANNEL,
+    ROAD_VALUE,
+    RoadSpec,
+    VEHICLE_CHANNEL,
+)
+from repro.sim.world import AgentState, Snapshot
+
+AGENT_HEIGHTS = {"vehicle": 1.5, "pedestrian": 1.8}
+
+
+@dataclass
+class CameraConfig:
+    height: int = 32
+    width: int = 32
+    cam_height: float = 1.6      # camera above ground (m)
+    focal: Optional[float] = None  # px; default = width/2 (~90° HFOV)
+    horizon_row: Optional[float] = None  # default = height * 0.45
+    max_depth: float = 60.0      # ground draw distance (m)
+    hood_rows: int = 2           # ego hood at the image bottom
+
+    def resolved_focal(self) -> float:
+        return self.focal if self.focal is not None else self.width / 2.0
+
+    def resolved_horizon(self) -> float:
+        return (self.horizon_row if self.horizon_row is not None
+                else self.height * 0.45)
+
+
+def _convex_hull(points: np.ndarray) -> np.ndarray:
+    """Andrew's monotone chain; points (N, 2) → hull vertices CCW."""
+    pts = np.unique(points, axis=0)
+    if len(pts) <= 2:
+        return pts
+    pts = pts[np.lexsort((pts[:, 1], pts[:, 0]))]
+
+    def half(seq):
+        hull: List[np.ndarray] = []
+        for p in seq:
+            while len(hull) >= 2:
+                o, a = hull[-2], hull[-1]
+                cross = (a[0] - o[0]) * (p[1] - o[1]) \
+                    - (a[1] - o[1]) * (p[0] - o[0])
+                if cross <= 0:
+                    hull.pop()
+                else:
+                    break
+            hull.append(p)
+        return hull
+
+    lower = half(pts)
+    upper = half(pts[::-1])
+    return np.array(lower[:-1] + upper[:-1])
+
+
+def _fill_polygon(mask: np.ndarray, vertices: np.ndarray) -> None:
+    """Set pixels whose centres lie inside the polygon (even-odd rule)."""
+    if len(vertices) < 3:
+        return
+    height, width = mask.shape
+    min_r = max(int(np.floor(vertices[:, 1].min())), 0)
+    max_r = min(int(np.ceil(vertices[:, 1].max())), height - 1)
+    min_c = max(int(np.floor(vertices[:, 0].min())), 0)
+    max_c = min(int(np.ceil(vertices[:, 0].max())), width - 1)
+    if min_r > max_r or min_c > max_c:
+        return
+    rows = np.arange(min_r, max_r + 1) + 0.5
+    cols = np.arange(min_c, max_c + 1) + 0.5
+    cgrid, rgrid = np.meshgrid(cols, rows)
+    inside = np.zeros(cgrid.shape, dtype=bool)
+    n = len(vertices)
+    for i in range(n):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % n]
+        crosses = ((y1 <= rgrid) != (y2 <= rgrid))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_at = x1 + (rgrid - y1) * (x2 - x1) / (y2 - y1)
+        inside ^= crosses & (cgrid < x_at)
+    mask[min_r:max_r + 1, min_c:max_c + 1] |= inside
+
+
+class PerspectiveRenderer:
+    """Pinhole-projection renderer producing ``(3, H, W)`` frames."""
+
+    def __init__(self, config: Optional[CameraConfig] = None,
+                 road: Optional[RoadSpec] = None) -> None:
+        self.config = config or CameraConfig()
+        self.road = road or RoadSpec()
+        cfg = self.config
+        f = cfg.resolved_focal()
+        cy = cfg.resolved_horizon()
+        cx = cfg.width / 2.0
+        # Precompute the ground-plane inverse projection for every pixel
+        # below the horizon: depth X and lateral Y in the camera frame.
+        rows = np.arange(cfg.height, dtype=np.float64) + 0.5
+        cols = np.arange(cfg.width, dtype=np.float64) + 0.5
+        col_grid, row_grid = np.meshgrid(cols, rows)
+        dv = row_grid - cy
+        with np.errstate(divide="ignore", invalid="ignore"):
+            depth = f * cfg.cam_height / dv
+        ground = (dv > 0.25) & (depth <= cfg.max_depth)
+        lateral = (cx - col_grid) * depth / f
+        self._f, self._cx, self._cy = f, cx, cy
+        self._ground_mask = ground
+        self._depth = np.where(ground, depth, np.nan)
+        self._lateral = np.where(ground, lateral, np.nan)
+
+    # -- projection helpers ------------------------------------------------
+    def _to_camera(self, ego: AgentState, x: np.ndarray, y: np.ndarray):
+        """World (x, y) → camera-frame (forward, left)."""
+        cos_h, sin_h = np.cos(ego.heading), np.sin(ego.heading)
+        dx, dy = x - ego.x, y - ego.y
+        forward = dx * cos_h + dy * sin_h
+        left = -dx * sin_h + dy * cos_h
+        return forward, left
+
+    def _project(self, forward, left, z):
+        """Camera frame → pixel (u, v); caller ensures forward > 0."""
+        u = self._cx - self._f * left / forward
+        v = self._cy - self._f * (z - self.config.cam_height) / forward
+        return u, v
+
+    # -- drawing ----------------------------------------------------------
+    def _draw_ground(self, frame: np.ndarray, snapshot: Snapshot,
+                     ego: AgentState) -> None:
+        cfg = self.config
+        road = self.road
+        ground = self._ground_mask
+        # World coordinates of each ground pixel.
+        cos_h, sin_h = np.cos(ego.heading), np.sin(ego.heading)
+        wx = ego.x + self._depth * cos_h - self._lateral * sin_h
+        wy = ego.y + self._depth * sin_h + self._lateral * cos_h
+        surface = ground & (wy >= road.main_y_min) & (wy <= road.main_y_max)
+        if road.has_cross_road:
+            surface |= ground & (wx >= road.cross_x_min) \
+                & (wx <= road.cross_x_max)
+        frame[ROAD_CHANNEL][surface] = ROAD_VALUE
+        dash = (np.floor(wx / 4.0) % 2) == 0
+        for boundary in road.lane_boundaries:
+            marking = surface & dash & (np.abs(wy - boundary) < 0.4)
+            frame[ROAD_CHANNEL][marking] = MARKING_VALUE
+        if snapshot.light_state is not None \
+                and snapshot.light_position is not None:
+            stop_x = snapshot.light_position[0]
+            line = surface & (np.abs(wx - stop_x) < 0.8)
+            value = (RED_LIGHT_VALUE if snapshot.light_state == "red"
+                     else GREEN_LIGHT_VALUE)
+            frame[PEDESTRIAN_CHANNEL][line] = value
+        # Hood line.
+        if cfg.hood_rows > 0:
+            frame[ROAD_CHANNEL][-cfg.hood_rows:, :] = 1.0
+
+    def _agent_box_pixels(self, agent: AgentState,
+                          ego: AgentState) -> Optional[np.ndarray]:
+        """Projected convex hull (in pixels) of the agent's 3D box."""
+        half_l, half_w = agent.length / 2, agent.width / 2
+        cos_a, sin_a = np.cos(agent.heading), np.sin(agent.heading)
+        corners = []
+        for sx in (-half_l, half_l):
+            for sy in (-half_w, half_w):
+                corners.append((agent.x + sx * cos_a - sy * sin_a,
+                                agent.y + sx * sin_a + sy * cos_a))
+        corners = np.array(corners)
+        forward, left = self._to_camera(ego, corners[:, 0], corners[:, 1])
+        if np.all(forward < 0.5):
+            return None
+        # Clamp near-plane to avoid projecting through the camera.
+        forward = np.maximum(forward, 0.5)
+        height = AGENT_HEIGHTS.get(agent.kind, 1.5)
+        us, vs = [], []
+        for z in (0.0, height):
+            u, v = self._project(forward, left, z)
+            us.append(u)
+            vs.append(v)
+        points = np.stack([np.concatenate(us), np.concatenate(vs)], axis=1)
+        return _convex_hull(points)
+
+    def render(self, snapshot: Snapshot) -> np.ndarray:
+        ego = next((a for a in snapshot.agents.values() if a.is_ego), None)
+        if ego is None:
+            raise LookupError("snapshot has no ego agent")
+        cfg = self.config
+        frame = np.zeros((3, cfg.height, cfg.width), dtype=np.float32)
+        self._draw_ground(frame, snapshot, ego)
+
+        # Painter's algorithm: farthest agents first.
+        others = [a for a in snapshot.agents.values() if not a.is_ego]
+        def depth_of(agent):
+            forward, _ = self._to_camera(
+                ego, np.array([agent.x]), np.array([agent.y])
+            )
+            return float(forward[0])
+        for agent in sorted(others, key=depth_of, reverse=True):
+            if depth_of(agent) < 0.5:
+                continue
+            hull = self._agent_box_pixels(agent, ego)
+            if hull is None or len(hull) < 3:
+                continue
+            mask = np.zeros((cfg.height, cfg.width), dtype=bool)
+            _fill_polygon(mask, hull)
+            channel = (PEDESTRIAN_CHANNEL if agent.kind == "pedestrian"
+                       else VEHICLE_CHANNEL)
+            frame[channel][mask] = 1.0
+            # Occlusion: an opaque body hides what is behind it in the
+            # other agent channels.
+            other = VEHICLE_CHANNEL if channel == PEDESTRIAN_CHANNEL \
+                else PEDESTRIAN_CHANNEL
+            frame[other][mask] = np.minimum(frame[other][mask], 0.0)
+        return frame
+
+    def render_clip(self, snapshots: Sequence[Snapshot],
+                    sample_every: int = 1) -> np.ndarray:
+        frames = [self.render(s) for s in snapshots[::sample_every]]
+        return np.stack(frames, axis=0)

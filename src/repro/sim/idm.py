@@ -1,0 +1,51 @@
+"""Intelligent Driver Model (Treiber et al.) longitudinal control."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IDMParams:
+    """IDM parameters (urban defaults, SI units)."""
+
+    desired_speed: float = 12.0     # v0 [m/s]
+    time_headway: float = 1.2       # T [s]
+    min_gap: float = 2.0            # s0 [m]
+    max_accel: float = 2.0          # a [m/s^2]
+    comfort_decel: float = 2.5      # b [m/s^2]
+    exponent: float = 4.0           # delta
+
+
+def idm_acceleration(params: IDMParams, speed: float,
+                     gap: float | None = None,
+                     lead_speed: float | None = None) -> float:
+    """IDM acceleration for the ego given an optional leader.
+
+    ``gap`` is bumper-to-bumper distance to the leader (m); ``lead_speed``
+    its speed.  With no leader, free-road acceleration is returned.
+    The result is clamped to ``[-2 * comfort_decel, max_accel]`` to model
+    a physical braking limit.
+    """
+    if params.desired_speed <= 0.05:
+        # Stationary target: hold position without the free-term blow-up.
+        if speed <= 0.0:
+            return 0.0
+        return float(-params.comfort_decel)
+    v0 = params.desired_speed
+    free_term = (speed / v0) ** params.exponent
+    accel = params.max_accel * (1.0 - free_term)
+    if gap is not None:
+        if lead_speed is None:
+            lead_speed = 0.0
+        gap = max(gap, 0.1)
+        dv = speed - lead_speed
+        s_star = params.min_gap + max(
+            0.0,
+            speed * params.time_headway
+            + speed * dv / (2.0 * np.sqrt(params.max_accel * params.comfort_decel)),
+        )
+        accel -= params.max_accel * (s_star / gap) ** 2
+    return float(np.clip(accel, -2.0 * params.comfort_decel, params.max_accel))

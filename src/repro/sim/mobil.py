@@ -1,0 +1,113 @@
+"""MOBIL lane-change decision model (Kesting, Treiber, Helbing).
+
+Gives vehicles *autonomous* lane-change behaviour (as opposed to the
+scripted ``schedule_lane_change`` commands): a change to an adjacent
+lane is executed when the acceleration gained by the changer outweighs a
+politeness-weighted loss imposed on the new follower, subject to a
+safety criterion on that follower's required braking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.sim.idm import idm_acceleration
+
+if TYPE_CHECKING:
+    from repro.sim.agents import Vehicle
+    from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class MOBILParams:
+    politeness: float = 0.3       # p: weight of others' acceleration loss
+    threshold: float = 0.2        # a_thr: minimum net gain (m/s^2)
+    safe_braking: float = 3.0     # b_safe: max imposed follower decel
+    min_interval: float = 3.0     # s between decisions per vehicle
+
+
+def _accel_with_leader(vehicle: "Vehicle", leader: Optional["Vehicle"]):
+    gap = None
+    lead_speed = None
+    if leader is not None:
+        gap = (leader.s - vehicle.s
+               - leader.length / 2 - vehicle.length / 2)
+        lead_speed = leader.speed
+    return idm_acceleration(vehicle.idm, vehicle.speed, gap, lead_speed)
+
+
+def _neighbours(world: "World", vehicle: "Vehicle", lane: int):
+    """(leader, follower) of ``vehicle`` if it were in ``lane``."""
+    lane_w = world.config.lane_width
+    leader = None
+    follower = None
+    for other in world.vehicles:
+        if other is vehicle or other.route_group != vehicle.route_group:
+            continue
+        if other.effective_lane(lane_w) != lane:
+            continue
+        gap = other.s - vehicle.s
+        if gap > 0 and (leader is None or gap < leader.s - vehicle.s):
+            leader = other
+        elif gap <= 0 and (follower is None
+                           or gap > follower.s - vehicle.s):
+            follower = other
+    return leader, follower
+
+
+def mobil_decision(world: "World", vehicle: "Vehicle",
+                   params: MOBILParams,
+                   allowed_lanes) -> Optional[int]:
+    """Return the target lane index if a change is warranted, else None.
+
+    Evaluates both adjacent lanes (restricted to ``allowed_lanes``) using
+    the incentive and safety criteria of MOBIL with symmetric rules.
+    """
+    lane_w = world.config.lane_width
+    current_lane = vehicle.effective_lane(lane_w)
+    if vehicle.is_changing_lane():
+        return None
+
+    current_leader, _ = _neighbours(world, vehicle, current_lane)
+    accel_now = _accel_with_leader(vehicle, current_leader)
+
+    best_lane = None
+    best_gain = params.threshold
+    for candidate in (current_lane - 1, current_lane + 1):
+        if candidate not in allowed_lanes:
+            continue
+        new_leader, new_follower = _neighbours(world, vehicle, candidate)
+        # Safety: the new follower must not have to brake harder than
+        # b_safe, and must not overlap the changer.
+        if new_follower is not None:
+            follower_gap = (vehicle.s - new_follower.s
+                            - vehicle.length / 2 - new_follower.length / 2)
+            if follower_gap < 1.0:
+                continue
+            follower_accel = idm_acceleration(
+                new_follower.idm, new_follower.speed,
+                follower_gap, vehicle.speed,
+            )
+            if follower_accel < -params.safe_braking:
+                continue
+        if new_leader is not None:
+            leader_gap = (new_leader.s - vehicle.s
+                          - new_leader.length / 2 - vehicle.length / 2)
+            if leader_gap < 1.0:
+                continue
+        accel_new = _accel_with_leader(vehicle, new_leader)
+        # Politeness: cost imposed on the new follower.
+        imposed = 0.0
+        if new_follower is not None:
+            before = _accel_with_leader(new_follower, new_leader)
+            follower_gap = (vehicle.s - new_follower.s
+                            - vehicle.length / 2 - new_follower.length / 2)
+            after = idm_acceleration(new_follower.idm, new_follower.speed,
+                                     follower_gap, vehicle.speed)
+            imposed = before - after
+        gain = accel_new - accel_now - params.politeness * imposed
+        if gain > best_gain:
+            best_gain = gain
+            best_lane = candidate
+    return best_lane

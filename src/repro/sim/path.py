@@ -1,0 +1,96 @@
+"""Polyline paths with arc-length parameterisation.
+
+Every agent follows a :class:`Path`: a dense polyline with per-vertex
+headings.  Positions are queried by arc length ``s`` plus a signed lateral
+offset (positive = left of travel direction), which is how lane position
+and lane changes are represented.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class Path:
+    """Arc-length parameterised polyline."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2 or len(points) < 2:
+            raise ValueError("path needs an (N>=2, 2) array of points")
+        self.points = points
+        deltas = np.diff(points, axis=0)
+        seg_lengths = np.hypot(deltas[:, 0], deltas[:, 1])
+        if np.any(seg_lengths <= 0):
+            raise ValueError("path has zero-length segments")
+        self.cum_lengths = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+        self.headings = np.arctan2(deltas[:, 1], deltas[:, 0])
+
+    @property
+    def length(self) -> float:
+        return float(self.cum_lengths[-1])
+
+    def pose(self, s: float, lateral: float = 0.0) -> Tuple[float, float, float]:
+        """Return ``(x, y, heading)`` at arc length ``s`` with a signed
+        lateral offset (positive to the left of the travel direction).
+
+        ``s`` is clamped to ``[0, length]``; agents that run off the end
+        keep the final heading.
+        """
+        s = float(np.clip(s, 0.0, self.length))
+        seg = int(np.searchsorted(self.cum_lengths, s, side="right") - 1)
+        seg = min(max(seg, 0), len(self.headings) - 1)
+        ds = s - self.cum_lengths[seg]
+        heading = self.headings[seg]
+        x = self.points[seg, 0] + ds * np.cos(heading)
+        y = self.points[seg, 1] + ds * np.sin(heading)
+        # Lateral offset: rotate +90° from heading.
+        x += lateral * -np.sin(heading)
+        y += lateral * np.cos(heading)
+        return float(x), float(y), float(heading)
+
+
+def straight_path(start: Tuple[float, float], heading: float,
+                  length: float) -> Path:
+    """A straight path from ``start`` in direction ``heading`` (radians)."""
+    x0, y0 = start
+    x1 = x0 + length * np.cos(heading)
+    y1 = y0 + length * np.sin(heading)
+    return Path(np.array([[x0, y0], [x1, y1]]))
+
+
+def turn_path(approach_start: Tuple[float, float], heading: float,
+              approach_length: float, turn_radius: float,
+              turn_direction: str, exit_length: float,
+              arc_points: int = 12) -> Path:
+    """An approach segment, a quarter-circle arc, then an exit segment.
+
+    ``turn_direction`` is ``"left"`` (+90°) or ``"right"`` (-90°).
+    Used for intersection turn routes.
+    """
+    if turn_direction not in ("left", "right"):
+        raise ValueError("turn_direction must be 'left' or 'right'")
+    sign = 1.0 if turn_direction == "left" else -1.0
+
+    x0, y0 = approach_start
+    points = [(x0, y0)]
+    xa = x0 + approach_length * np.cos(heading)
+    ya = y0 + approach_length * np.sin(heading)
+    points.append((xa, ya))
+
+    # Arc centre is perpendicular to the heading at the arc entry.
+    cx = xa - sign * turn_radius * np.sin(heading)
+    cy = ya + sign * turn_radius * np.cos(heading)
+    start_angle = np.arctan2(ya - cy, xa - cx)
+    for i in range(1, arc_points + 1):
+        angle = start_angle + sign * (np.pi / 2) * i / arc_points
+        points.append((cx + turn_radius * np.cos(angle),
+                       cy + turn_radius * np.sin(angle)))
+
+    exit_heading = heading + sign * np.pi / 2
+    xe, ye = points[-1]
+    points.append((xe + exit_length * np.cos(exit_heading),
+                   ye + exit_length * np.sin(exit_heading)))
+    return Path(np.array(points))

@@ -1,0 +1,169 @@
+"""Ego-centred bird's-eye-view rasteriser.
+
+Produces ``(3, H, W)`` float32 frames in ``[0, 1]``:
+
+- channel 0 — other vehicles (oriented rectangles),
+- channel 1 — pedestrians and the traffic-light stop line (intensity
+  encodes the light state: red = 1.0, green = 0.4),
+- channel 2 — road surface, dashed lane markings and the ego vehicle.
+
+The view is locked to the ego pose (forward = up), which is the BEV
+analogue of a dashcam: all scenario evidence appears as relative motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.world import AgentState, Snapshot
+
+VEHICLE_CHANNEL = 0
+PEDESTRIAN_CHANNEL = 1
+ROAD_CHANNEL = 2
+
+ROAD_VALUE = 0.25
+MARKING_VALUE = 0.6
+EGO_VALUE = 1.0
+RED_LIGHT_VALUE = 1.0
+GREEN_LIGHT_VALUE = 0.4
+
+
+@dataclass
+class RoadSpec:
+    """Geometry of the drawn road network (world coordinates).
+
+    The main road runs along +x with lanes stacked in y; an optional
+    crossing road (for intersection scenes) runs along y.
+    """
+
+    main_y_min: float = -1.75
+    main_y_max: float = 8.75
+    lane_boundaries: Tuple[float, ...] = (1.75, 5.25)
+    cross_x_min: Optional[float] = None
+    cross_x_max: Optional[float] = None
+
+    @property
+    def has_cross_road(self) -> bool:
+        return self.cross_x_min is not None and self.cross_x_max is not None
+
+
+@dataclass
+class RenderConfig:
+    height: int = 32
+    width: int = 32
+    px_per_m: float = 1.0
+    ego_row: int = 26          # pixel row of the ego centre (from top)
+    dash_period: float = 4.0   # lane-marking dash length (m)
+
+
+class BEVRenderer:
+    """Rasterises world snapshots into ego-centred BEV frames."""
+
+    def __init__(self, config: Optional[RenderConfig] = None,
+                 road: Optional[RoadSpec] = None) -> None:
+        self.config = config or RenderConfig()
+        self.road = road or RoadSpec()
+        cfg = self.config
+        rows = np.arange(cfg.height, dtype=np.float64)
+        cols = np.arange(cfg.width, dtype=np.float64)
+        col_grid, row_grid = np.meshgrid(cols, rows)
+        # Ego-frame coordinates of each pixel centre.
+        self._forward = (cfg.ego_row - row_grid) / cfg.px_per_m
+        self._lateral = (cfg.width / 2.0 - col_grid) / cfg.px_per_m
+
+    # -- coordinate transforms --------------------------------------------
+    def _world_grids(self, ego: AgentState) -> Tuple[np.ndarray, np.ndarray]:
+        cos_h, sin_h = np.cos(ego.heading), np.sin(ego.heading)
+        wx = ego.x + self._forward * cos_h - self._lateral * sin_h
+        wy = ego.y + self._forward * sin_h + self._lateral * cos_h
+        return wx, wy
+
+    # -- drawing ------------------------------------------------------------
+    def _draw_road(self, frame: np.ndarray, wx: np.ndarray,
+                   wy: np.ndarray) -> None:
+        road = self.road
+        surface = (wy >= road.main_y_min) & (wy <= road.main_y_max)
+        if road.has_cross_road:
+            surface |= (wx >= road.cross_x_min) & (wx <= road.cross_x_max)
+        frame[ROAD_CHANNEL][surface] = ROAD_VALUE
+        dash = (np.floor(wx / self.config.dash_period) % 2) == 0
+        for boundary in road.lane_boundaries:
+            marking = (np.abs(wy - boundary) < 0.4) & dash & surface
+            frame[ROAD_CHANNEL][marking] = MARKING_VALUE
+
+    def _agent_mask(self, agent: AgentState, wx: np.ndarray,
+                    wy: np.ndarray) -> np.ndarray:
+        dx = wx - agent.x
+        dy = wy - agent.y
+        cos_h, sin_h = np.cos(agent.heading), np.sin(agent.heading)
+        forward = dx * cos_h + dy * sin_h
+        lateral = -dx * sin_h + dy * cos_h
+        half_px = 0.5 / self.config.px_per_m
+        return ((np.abs(forward) <= agent.length / 2 + half_px)
+                & (np.abs(lateral) <= agent.width / 2 + half_px))
+
+    def _draw_light(self, frame: np.ndarray, snapshot: Snapshot,
+                    wx: np.ndarray, wy: np.ndarray) -> None:
+        if snapshot.light_state is None or snapshot.light_position is None:
+            return
+        stop_x = snapshot.light_position[0]
+        road = self.road
+        on_road = (wy >= road.main_y_min) & (wy <= road.main_y_max)
+        line = (np.abs(wx - stop_x) < 0.6) & on_road
+        value = (RED_LIGHT_VALUE if snapshot.light_state == "red"
+                 else GREEN_LIGHT_VALUE)
+        frame[PEDESTRIAN_CHANNEL][line] = value
+
+    def render(self, snapshot: Snapshot) -> np.ndarray:
+        """Render one snapshot to a ``(3, H, W)`` float32 frame."""
+        ego = next((a for a in snapshot.agents.values() if a.is_ego), None)
+        if ego is None:
+            raise LookupError("snapshot has no ego agent")
+        cfg = self.config
+        frame = np.zeros((3, cfg.height, cfg.width), dtype=np.float32)
+        wx, wy = self._world_grids(ego)
+        self._draw_road(frame, wx, wy)
+        self._draw_light(frame, snapshot, wx, wy)
+        for agent in snapshot.agents.values():
+            if agent.is_ego:
+                continue
+            mask = self._agent_mask(agent, wx, wy)
+            channel = (PEDESTRIAN_CHANNEL if agent.kind == "pedestrian"
+                       else VEHICLE_CHANNEL)
+            frame[channel][mask] = 1.0
+        frame[ROAD_CHANNEL][self._agent_mask(ego, wx, wy)] = EGO_VALUE
+        return frame
+
+    def render_clip(self, snapshots: Sequence[Snapshot],
+                    sample_every: int = 1) -> np.ndarray:
+        """Render ``(T, 3, H, W)`` from every ``sample_every``-th snapshot."""
+        frames = [self.render(s) for s in snapshots[::sample_every]]
+        return np.stack(frames, axis=0)
+
+
+def ascii_frame(frame: np.ndarray) -> str:
+    """Human-readable rendering of a BEV frame for example scripts."""
+    glyphs = {VEHICLE_CHANNEL: "#", PEDESTRIAN_CHANNEL: "o"}
+    rows = []
+    for r in range(frame.shape[1]):
+        row = []
+        for c in range(frame.shape[2]):
+            if frame[ROAD_CHANNEL, r, c] >= EGO_VALUE:
+                row.append("E")
+            elif frame[VEHICLE_CHANNEL, r, c] > 0.5:
+                row.append("#")
+            elif frame[PEDESTRIAN_CHANNEL, r, c] > 0.8:
+                row.append("o")
+            elif frame[PEDESTRIAN_CHANNEL, r, c] > 0.2:
+                row.append("=")
+            elif frame[ROAD_CHANNEL, r, c] >= MARKING_VALUE:
+                row.append(":")
+            elif frame[ROAD_CHANNEL, r, c] > 0:
+                row.append(".")
+            else:
+                row.append(" ")
+        rows.append("".join(row))
+    return "\n".join(rows)

@@ -1,0 +1,382 @@
+"""Scripted scenario families.
+
+Each family builds a seeded :class:`~repro.sim.world.World` around the ego
+vehicle so that the defining event (cut-in, hard brake, crossing, ...)
+happens inside the recorded window.  Families correspond to the scenario
+categories a driving-video dataset annotates; the SDL annotator derives
+per-clip labels from the recorded ground truth, so scripts only set up
+physics, never labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.agents import Pedestrian, TrafficLight, Vehicle
+from repro.sim.idm import IDMParams
+from repro.sim.path import Path, straight_path, turn_path
+from repro.sim.render import RoadSpec
+from repro.sim.world import Snapshot, World, WorldConfig
+
+LANE_WIDTH = 3.5
+EGO_START_S = 60.0
+PATH_LENGTH = 500.0
+
+
+@dataclass
+class ScenarioRecording:
+    """A simulated scenario: ground-truth snapshots plus metadata."""
+
+    family: str
+    snapshots: List[Snapshot]
+    road: RoadSpec
+    duration: float
+    dt: float
+    seed: int
+
+
+def _main_path() -> Path:
+    return straight_path((0.0, 0.0), heading=0.0, length=PATH_LENGTH)
+
+
+def _three_lane_road() -> RoadSpec:
+    half = LANE_WIDTH / 2
+    return RoadSpec(
+        main_y_min=-LANE_WIDTH - half,
+        main_y_max=LANE_WIDTH + half,
+        lane_boundaries=(-half, half),
+    )
+
+
+def _ego(path: Path, speed: float, lane: int = 0,
+         desired: Optional[float] = None, s: float = EGO_START_S) -> Vehicle:
+    idm = IDMParams(desired_speed=desired if desired is not None else speed)
+    return Vehicle("ego", path, s=s, speed=speed,
+                   lane_offset=lane * LANE_WIDTH, idm=idm, is_ego=True)
+
+
+def _speed(rng: np.random.Generator, low: float = 8.0,
+           high: float = 13.0) -> float:
+    return float(rng.uniform(low, high))
+
+
+# ----------------------------------------------------------------------
+# Family builders: (world, road_spec) = build(rng)
+# ----------------------------------------------------------------------
+def _build_free_drive(rng: np.random.Generator):
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="straight-road")
+    path = _main_path()
+    speed = _speed(rng)
+    world.add_vehicle(_ego(path, speed))
+    if rng.random() < 0.5:
+        # Distant same-direction traffic in another lane.
+        lane = int(rng.choice([-1, 1]))
+        world.add_vehicle(Vehicle(
+            "car-far", path, s=EGO_START_S + rng.uniform(12.0, 22.0),
+            speed=speed, lane_offset=lane * LANE_WIDTH,
+            idm=IDMParams(desired_speed=speed),
+        ))
+    return world, _three_lane_road()
+
+
+def _build_lead_follow(rng: np.random.Generator):
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="straight-road")
+    path = _main_path()
+    speed = _speed(rng)
+    world.add_vehicle(_ego(path, speed, desired=speed + 2.0))
+    world.add_vehicle(Vehicle(
+        "lead", path, s=EGO_START_S + rng.uniform(12.0, 18.0),
+        speed=speed, idm=IDMParams(desired_speed=speed),
+    ))
+    return world, _three_lane_road()
+
+
+def _build_lead_brake(rng: np.random.Generator):
+    world, road = _build_lead_follow(rng)
+    lead = world.vehicles[1]
+    t_brake = float(rng.uniform(1.5, 3.0))
+    lead.schedule_brake(t_brake, t_brake + rng.uniform(2.5, 3.5),
+                        accel=float(rng.uniform(-4.5, -3.5)))
+    return world, road
+
+
+def _build_cut_in(rng: np.random.Generator):
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="straight-road")
+    path = _main_path()
+    speed = _speed(rng)
+    world.add_vehicle(_ego(path, speed))
+    side = int(rng.choice([-1, 1]))
+    cutter = Vehicle(
+        "cutter", path, s=EGO_START_S + rng.uniform(8.0, 12.0),
+        speed=speed * 0.9, lane_offset=side * LANE_WIDTH,
+        idm=IDMParams(desired_speed=speed * 0.9),
+    )
+    cutter.schedule_lane_change(float(rng.uniform(1.0, 2.5)), 0.0)
+    world.add_vehicle(cutter)
+    return world, _three_lane_road()
+
+
+def _build_ego_lane_change(rng: np.random.Generator, direction: str):
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="straight-road")
+    path = _main_path()
+    speed = _speed(rng)
+    start_lane = 0 if direction == "left" else 0
+    target_lane = 1 if direction == "left" else -1
+    ego = _ego(path, speed, lane=start_lane, desired=speed + 2.0)
+    ego.schedule_lane_change(float(rng.uniform(1.0, 2.0)),
+                             target_lane * LANE_WIDTH)
+    world.add_vehicle(ego)
+    # A slow leader motivates the change.
+    world.add_vehicle(Vehicle(
+        "slow-lead", path, s=EGO_START_S + rng.uniform(14.0, 20.0),
+        speed=speed * 0.6, idm=IDMParams(desired_speed=speed * 0.6),
+    ))
+    return world, _three_lane_road()
+
+
+def _build_pedestrian_crossing(rng: np.random.Generator):
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="straight-road")
+    path = _main_path()
+    speed = _speed(rng, 7.0, 10.0)
+    world.add_vehicle(_ego(path, speed))
+    road = _three_lane_road()
+    cross_x = EGO_START_S + rng.uniform(24.0, 32.0)
+    ped_speed = float(rng.uniform(1.0, 1.8))
+    # Cross from either roadside.
+    from_left = bool(rng.random() < 0.5)
+    start_y = (road.main_y_max + 1.0) if from_left else (road.main_y_min - 1.0)
+    direction = -1.0 if from_left else 1.0
+    crossing_distance = abs(start_y) + road.main_y_max + 1.0
+    # Time the pedestrian to reach the ego lane roughly when the
+    # (unimpeded) ego would arrive, so a genuine conflict always forms.
+    ego_arrival = (cross_x - EGO_START_S) / speed
+    walk_to_lane = abs(start_y) / ped_speed
+    t_start = float(np.clip(ego_arrival - walk_to_lane
+                            + rng.uniform(-0.5, 0.5), 0.2, 6.0))
+    world.add_pedestrian(Pedestrian(
+        "ped", start=(cross_x, start_y),
+        velocity=(0.0, direction * ped_speed),
+        t_start=t_start, t_end=t_start + crossing_distance / ped_speed,
+    ))
+    return world, road
+
+
+def _build_oncoming(rng: np.random.Generator):
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="straight-road")
+    path = _main_path()
+    speed = _speed(rng)
+    world.add_vehicle(_ego(path, speed))
+    # Oncoming vehicle on its own reversed path in the left lane.
+    oncoming_path = straight_path((PATH_LENGTH, LANE_WIDTH), heading=np.pi,
+                                  length=PATH_LENGTH)
+    oncoming_speed = _speed(rng)
+    start_gap = rng.uniform(50.0, 70.0)
+    world.add_vehicle(Vehicle(
+        "oncoming", oncoming_path,
+        s=PATH_LENGTH - (EGO_START_S + start_gap),
+        speed=oncoming_speed, idm=IDMParams(desired_speed=oncoming_speed),
+        route_group="oncoming",
+    ))
+    return world, _three_lane_road()
+
+
+def _intersection_geometry(rng: np.random.Generator):
+    """Common intersection layout: cross road ~35 m ahead of the ego."""
+    center_x = EGO_START_S + float(rng.uniform(32.0, 40.0))
+    half_cross = LANE_WIDTH * 1.5
+    road = RoadSpec(
+        main_y_min=-LANE_WIDTH * 1.5,
+        main_y_max=LANE_WIDTH * 1.5,
+        lane_boundaries=(-LANE_WIDTH / 2, LANE_WIDTH / 2),
+        cross_x_min=center_x - half_cross,
+        cross_x_max=center_x + half_cross,
+    )
+    return center_x, road
+
+
+def _build_red_light_stop(rng: np.random.Generator):
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="intersection")
+    center_x, road = _intersection_geometry(rng)
+    path = _main_path()
+    speed = _speed(rng, 8.0, 11.0)
+    world.add_vehicle(_ego(path, speed))
+    stop_s = road.cross_x_min - 2.0
+    red_for = float(rng.uniform(5.0, 7.0))
+    world.set_light(TrafficLight(
+        stop_s=stop_s, position=(stop_s, 0.0),
+        phases=[("red", red_for), ("green", 120.0)],
+    ))
+    # Cross traffic flows while the ego waits.
+    cross_path = straight_path((center_x, -60.0), heading=np.pi / 2,
+                               length=120.0)
+    cross_speed = _speed(rng, 8.0, 12.0)
+    world.add_vehicle(Vehicle(
+        "cross-car", cross_path, s=rng.uniform(10.0, 25.0),
+        speed=cross_speed, idm=IDMParams(desired_speed=cross_speed),
+        route_group="cross",
+    ))
+    return world, road
+
+
+def _build_intersection_turn(rng: np.random.Generator, direction: str):
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="intersection")
+    center_x, road = _intersection_geometry(rng)
+    speed = _speed(rng, 6.0, 8.0)
+    # The turn arc starts at the near edge of the intersection.
+    approach_length = road.cross_x_min
+    radius = LANE_WIDTH * (2.0 if direction == "left" else 1.0)
+    path = turn_path(
+        (0.0, 0.0), heading=0.0, approach_length=approach_length,
+        turn_radius=radius, turn_direction=direction, exit_length=80.0,
+    )
+    ego = _ego(path, speed, desired=speed)
+    world.add_vehicle(ego)
+    if rng.random() < 0.5:
+        # A stopped car waiting on the far side of the cross road.
+        waiting_path = straight_path(
+            (center_x, 40.0), heading=-np.pi / 2, length=80.0
+        )
+        world.add_vehicle(Vehicle(
+            "waiting", waiting_path, s=rng.uniform(5.0, 15.0), speed=0.0,
+            idm=IDMParams(desired_speed=0.0), route_group="cross-down",
+        ))
+    return world, road
+
+
+def _build_overtake(rng: np.random.Generator):
+    """Ego overtakes a slow leader *autonomously* via MOBIL (no scripted
+    lane command) — exercises the lane-change decision model."""
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="straight-road")
+    path = _main_path()
+    speed = _speed(rng, 10.0, 13.0)
+    ego = _ego(path, speed, desired=speed + 3.0)
+    ego.auto_lane_change = True
+    ego.allowed_lanes = (0, 1)
+    world.add_vehicle(ego)
+    world.add_vehicle(Vehicle(
+        "slow-lead", path, s=EGO_START_S + rng.uniform(16.0, 24.0),
+        speed=speed * 0.45, idm=IDMParams(desired_speed=speed * 0.45),
+    ))
+    return world, _three_lane_road()
+
+
+def _build_green_light_pass(rng: np.random.Generator):
+    """Ego drives through a green signalised intersection without
+    stopping — decouples the intersection scene and traffic-light actor
+    from the 'stop' manoeuvre."""
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="intersection")
+    center_x, road = _intersection_geometry(rng)
+    path = _main_path()
+    speed = _speed(rng, 8.0, 12.0)
+    world.add_vehicle(_ego(path, speed))
+    stop_s = road.cross_x_min - 2.0
+    world.set_light(TrafficLight(
+        stop_s=stop_s, position=(stop_s, 0.0),
+        phases=[("green", 120.0), ("red", 10.0)],
+    ))
+    if rng.random() < 0.5:
+        # A queued car waiting on the cross road at its red.
+        cross_path = straight_path((center_x, -40.0), heading=np.pi / 2,
+                                   length=80.0)
+        world.add_vehicle(Vehicle(
+            "cross-waiting", cross_path, s=rng.uniform(5.0, 15.0),
+            speed=0.0, idm=IDMParams(desired_speed=0.0),
+            route_group="cross",
+        ))
+    return world, road
+
+
+def _build_stopped_lead(rng: np.random.Generator):
+    """Ego approaches a stationary queue tail and must stop behind it."""
+    world = World(WorldConfig(lane_width=LANE_WIDTH), scene="straight-road")
+    path = _main_path()
+    speed = _speed(rng, 8.0, 12.0)
+    world.add_vehicle(_ego(path, speed))
+    world.add_vehicle(Vehicle(
+        "stopped", path, s=EGO_START_S + rng.uniform(35.0, 45.0), speed=0.0,
+        idm=IDMParams(desired_speed=0.0),
+    ))
+    return world, _three_lane_road()
+
+
+BuildFn = Callable[[np.random.Generator], tuple]
+
+SCENARIO_FAMILIES: Dict[str, BuildFn] = {
+    "free-drive": _build_free_drive,
+    "lead-follow": _build_lead_follow,
+    "lead-brake": _build_lead_brake,
+    "cut-in": _build_cut_in,
+    "lane-change-left": lambda rng: _build_ego_lane_change(rng, "left"),
+    "lane-change-right": lambda rng: _build_ego_lane_change(rng, "right"),
+    "pedestrian-crossing": _build_pedestrian_crossing,
+    "oncoming": _build_oncoming,
+    "red-light-stop": _build_red_light_stop,
+    "turn-left": lambda rng: _build_intersection_turn(rng, "left"),
+    "turn-right": lambda rng: _build_intersection_turn(rng, "right"),
+    "stopped-lead": _build_stopped_lead,
+    "overtake": _build_overtake,
+    "green-light-pass": _build_green_light_pass,
+}
+
+
+def add_ambient_traffic(world: World, rng: np.random.Generator,
+                        count: int) -> int:
+    """Inject background vehicles into the side lanes.
+
+    Ambient cars are distractors: they flow with traffic in lanes the
+    scripted agents do not occupy initially, at safe spacing, and are
+    labelled by the annotator like any other observable vehicle.
+    Returns the number actually placed (placement can fail in dense
+    worlds)."""
+    ego = world.ego
+    lane_w = world.config.lane_width
+    placed = 0
+    occupied = [(v.effective_lane(lane_w), v.s) for v in world.vehicles]
+    for _ in range(count * 4):  # retry budget
+        if placed >= count:
+            break
+        lane = int(rng.choice([-1, 1]))
+        s = ego.s + float(rng.uniform(-30.0, 70.0))
+        if any(l == lane and abs(s - vs) < 14.0 for l, vs in occupied):
+            continue
+        speed = float(rng.uniform(7.0, 12.0))
+        vehicle = Vehicle(
+            f"ambient-{placed}", ego.path, s=s, speed=speed,
+            lane_offset=lane * lane_w,
+            idm=IDMParams(desired_speed=speed),
+        )
+        world.add_vehicle(vehicle)
+        occupied.append((lane, s))
+        placed += 1
+    return placed
+
+
+def build_scenario(family: str, seed: int):
+    """Instantiate a scenario world. Returns ``(world, road_spec)``."""
+    if family not in SCENARIO_FAMILIES:
+        raise KeyError(
+            f"unknown scenario family {family!r}; "
+            f"choose from {sorted(SCENARIO_FAMILIES)}"
+        )
+    rng = np.random.default_rng(seed)
+    return SCENARIO_FAMILIES[family](rng)
+
+
+def simulate_scenario(family: str, seed: int, duration: float = 8.0,
+                      ambient_traffic: int = 0) -> ScenarioRecording:
+    """Build and run a scenario; returns the recorded ground truth.
+
+    ``ambient_traffic`` injects that many background vehicles into the
+    side lanes (distractor-density experiments, Figure 7)."""
+    world, road = build_scenario(family, seed)
+    if ambient_traffic > 0:
+        add_ambient_traffic(world, np.random.default_rng(seed + 987_654),
+                            ambient_traffic)
+    snapshots = world.run(duration)
+    return ScenarioRecording(
+        family=family, snapshots=snapshots, road=road,
+        duration=duration, dt=world.config.dt, seed=seed,
+    )

@@ -1,0 +1,218 @@
+"""The simulation world: steps agents, resolves interactions, records
+ground-truth history for the SDL annotator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.agents import Pedestrian, TrafficLight, Vehicle
+from repro.sim.idm import idm_acceleration
+
+
+@dataclass
+class WorldConfig:
+    dt: float = 0.1
+    lane_width: float = 3.5
+    num_lanes: int = 3
+    pedestrian_detect_range: float = 30.0
+    light_detect_range: float = 40.0
+    leader_detect_range: float = 60.0
+
+
+@dataclass
+class AgentState:
+    """Frozen per-step agent state used by the renderer and annotator."""
+
+    name: str
+    kind: str                  # "vehicle" | "pedestrian"
+    x: float
+    y: float
+    heading: float
+    speed: float
+    accel: float = 0.0
+    lane_offset: float = 0.0
+    target_offset: float = 0.0
+    is_ego: bool = False
+    length: float = 4.5
+    width: float = 2.0
+    s: float = 0.0
+    route_group: str = "main"
+
+
+@dataclass
+class Snapshot:
+    """One timestep of ground truth."""
+
+    t: float
+    agents: Dict[str, AgentState]
+    light_state: Optional[str] = None
+    light_position: Optional[np.ndarray] = None
+    scene: str = "straight-road"
+
+
+class World:
+    """Steps vehicles (IDM + scripted manoeuvres), pedestrians and the
+    traffic light; records a :class:`Snapshot` per step."""
+
+    def __init__(self, config: Optional[WorldConfig] = None,
+                 scene: str = "straight-road") -> None:
+        self.config = config or WorldConfig()
+        self.scene = scene
+        self.vehicles: List[Vehicle] = []
+        self.pedestrians: List[Pedestrian] = []
+        self.light: Optional[TrafficLight] = None
+        self.t = 0.0
+        self.history: List[Snapshot] = []
+
+    # -- construction ---------------------------------------------------
+    def add_vehicle(self, vehicle: Vehicle) -> Vehicle:
+        self.vehicles.append(vehicle)
+        return vehicle
+
+    def add_pedestrian(self, pedestrian: Pedestrian) -> Pedestrian:
+        self.pedestrians.append(pedestrian)
+        return pedestrian
+
+    def set_light(self, light: TrafficLight) -> None:
+        self.light = light
+
+    @property
+    def ego(self) -> Vehicle:
+        for v in self.vehicles:
+            if v.is_ego:
+                return v
+        raise LookupError("world has no ego vehicle")
+
+    # -- interaction resolution -------------------------------------------
+    def _leader_of(self, vehicle: Vehicle) -> Optional[Vehicle]:
+        """Nearest vehicle ahead in the same route group and effective
+        lane (vehicles mid-lane-change occupy both source and target)."""
+        lane_w = self.config.lane_width
+        own_lane = vehicle.effective_lane(lane_w)
+        best: Optional[Vehicle] = None
+        best_gap = self.config.leader_detect_range
+        for other in self.vehicles:
+            if other is vehicle or other.route_group != vehicle.route_group:
+                continue
+            lanes = {other.effective_lane(lane_w),
+                     int(round(other.target_offset / lane_w))}
+            if own_lane not in lanes:
+                continue
+            gap = other.s - vehicle.s
+            if 0.0 < gap < best_gap:
+                best, best_gap = other, gap
+        return best
+
+    def _obstacle_gap(self, vehicle: Vehicle):
+        """Virtual stopped obstacle: red light stop line or crossing
+        pedestrian in the vehicle's corridor. Returns (gap, speed) or None."""
+        candidates = []
+        if (self.light is not None
+                and self.light.state(self.t) == "red"
+                and vehicle.s < self.light.stop_s):
+            gap = self.light.stop_s - vehicle.s - vehicle.length / 2
+            if gap < self.config.light_detect_range:
+                candidates.append((gap, 0.0))
+        for ped in self.pedestrians:
+            if not ped.is_active(self.t):
+                continue
+            vx, vy, heading = vehicle.pose()
+            cos_h, sin_h = np.cos(heading), np.sin(heading)
+            threshold = self.config.lane_width / 2 + ped.size
+            # Predictive yield: brake if the pedestrian is in the corridor
+            # now or will enter it within the next few seconds.
+            for lookahead in (0.0, 1.0, 2.0, 3.0):
+                px, py = ped.position(self.t + lookahead)
+                dx, dy = px - vx, py - vy
+                forward = dx * cos_h + dy * sin_h
+                lateral = -dx * sin_h + dy * cos_h
+                if (0.0 < forward < self.config.pedestrian_detect_range
+                        and abs(lateral) < threshold):
+                    candidates.append((forward - vehicle.length / 2, 0.0))
+                    break
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: c[0])
+
+    # -- stepping ---------------------------------------------------------
+    def step(self) -> Snapshot:
+        from repro.sim.mobil import MOBILParams, mobil_decision
+
+        dt = self.config.dt
+        mobil_params = MOBILParams()
+        accelerations = {}
+        for vehicle in self.vehicles:
+            vehicle.apply_lane_commands(self.t)
+            if (vehicle.auto_lane_change
+                    and self.t - vehicle.last_lane_decision_t
+                    >= mobil_params.min_interval):
+                vehicle.last_lane_decision_t = self.t
+                target = mobil_decision(self, vehicle, mobil_params,
+                                        vehicle.allowed_lanes)
+                if target is not None:
+                    vehicle.target_offset = target * self.config.lane_width
+            override = vehicle.active_brake(self.t)
+            if override is not None:
+                accelerations[vehicle.name] = override
+                continue
+            leader = self._leader_of(vehicle)
+            gap = None
+            lead_speed = None
+            if leader is not None:
+                gap = (leader.s - vehicle.s
+                       - leader.length / 2 - vehicle.length / 2)
+                lead_speed = leader.speed
+            obstacle = self._obstacle_gap(vehicle)
+            if obstacle is not None and (gap is None or obstacle[0] < gap):
+                gap, lead_speed = obstacle
+            accelerations[vehicle.name] = idm_acceleration(
+                vehicle.idm, vehicle.speed, gap, lead_speed
+            )
+        for vehicle in self.vehicles:
+            vehicle.integrate(accelerations[vehicle.name], dt)
+        self.t += dt
+        snapshot = self._snapshot()
+        self.history.append(snapshot)
+        return snapshot
+
+    def run(self, duration: float) -> List[Snapshot]:
+        """Step for ``duration`` seconds; returns the history slice."""
+        steps = int(round(duration / self.config.dt))
+        start = len(self.history)
+        for _ in range(steps):
+            self.step()
+        return self.history[start:]
+
+    def _snapshot(self) -> Snapshot:
+        agents: Dict[str, AgentState] = {}
+        for v in self.vehicles:
+            x, y, heading = v.pose()
+            agents[v.name] = AgentState(
+                name=v.name, kind="vehicle", x=x, y=y, heading=heading,
+                speed=v.speed, accel=v.accel, lane_offset=v.lane_offset,
+                target_offset=v.target_offset, is_ego=v.is_ego,
+                length=v.length, width=v.width, s=v.s,
+                route_group=v.route_group,
+            )
+        for p in self.pedestrians:
+            if not p.is_active(self.t):
+                continue
+            px, py = p.position(self.t)
+            vel = np.hypot(*p.velocity) if p.is_moving(self.t) else 0.0
+            heading = float(np.arctan2(p.velocity[1], p.velocity[0]))
+            agents[p.name] = AgentState(
+                name=p.name, kind="pedestrian", x=float(px), y=float(py),
+                heading=heading, speed=float(vel), length=p.size,
+                width=p.size, route_group="footpath",
+            )
+        return Snapshot(
+            t=self.t,
+            agents=agents,
+            light_state=self.light.state(self.t) if self.light else None,
+            light_position=(self.light.position.copy()
+                            if self.light else None),
+            scene=self.scene,
+        )

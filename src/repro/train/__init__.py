@@ -1,0 +1,26 @@
+"""Training loop, losses and evaluation metrics."""
+
+from repro.train.losses import MultiTaskLoss
+from repro.train.metrics import (
+    accuracy,
+    average_precision,
+    hamming_loss,
+    mean_average_precision,
+    multilabel_f1,
+    multilabel_prf,
+    subset_accuracy,
+)
+from repro.train.trainer import TrainConfig, Trainer
+
+__all__ = [
+    "MultiTaskLoss",
+    "Trainer",
+    "TrainConfig",
+    "accuracy",
+    "multilabel_prf",
+    "multilabel_f1",
+    "average_precision",
+    "mean_average_precision",
+    "subset_accuracy",
+    "hamming_loss",
+]

@@ -1,0 +1,80 @@
+"""Multi-task SDL loss: CE on categorical heads, BCE on multi-label."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+
+DEFAULT_TASK_WEIGHTS: Dict[str, float] = {
+    "scene": 1.0,
+    "ego_action": 1.0,
+    "actors": 1.0,
+    "actor_actions": 1.0,
+}
+
+
+class MultiTaskLoss:
+    """Weighted sum of per-head losses.
+
+    ``scene`` and ``ego_action`` use softmax cross-entropy; ``actors``
+    and ``actor_actions`` use element-wise BCE with logits.
+    """
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None,
+                 pos_weights: Optional[Dict[str, np.ndarray]] = None) -> None:
+        self.weights = dict(DEFAULT_TASK_WEIGHTS)
+        if weights:
+            unknown = set(weights) - set(self.weights)
+            if unknown:
+                raise KeyError(f"unknown task weights: {sorted(unknown)}")
+            self.weights.update(weights)
+        pos_weights = pos_weights or {}
+        unknown = set(pos_weights) - {"actors", "actor_actions"}
+        if unknown:
+            raise KeyError(f"pos_weights only apply to multi-label heads, "
+                           f"got {sorted(unknown)}")
+        self.pos_weights = {k: np.asarray(v, dtype=np.float32)
+                            for k, v in pos_weights.items()}
+
+    @classmethod
+    def class_balanced(cls, targets: Dict[str, np.ndarray],
+                       max_weight: float = 10.0,
+                       weights: Optional[Dict[str, float]] = None
+                       ) -> "MultiTaskLoss":
+        """Build a loss whose BCE positive terms are up-weighted by the
+        inverse positive rate of each tag (capped at ``max_weight``)."""
+        pos_weights = {}
+        for head in ("actors", "actor_actions"):
+            rate = targets[head].mean(axis=0)
+            pos_weights[head] = np.clip(
+                (1.0 - rate) / np.maximum(rate, 1e-6), 1.0, max_weight
+            ).astype(np.float32)
+        return cls(weights=weights, pos_weights=pos_weights)
+
+    def __call__(self, logits: Dict[str, Tensor],
+                 targets: Dict[str, np.ndarray]
+                 ) -> Tuple[Tensor, Dict[str, float]]:
+        parts = {
+            "scene": F.cross_entropy(logits["scene"], targets["scene"]),
+            "ego_action": F.cross_entropy(logits["ego_action"],
+                                          targets["ego_action"]),
+            "actors": F.binary_cross_entropy_with_logits(
+                logits["actors"], targets["actors"],
+                pos_weight=self.pos_weights.get("actors"),
+            ),
+            "actor_actions": F.binary_cross_entropy_with_logits(
+                logits["actor_actions"], targets["actor_actions"],
+                pos_weight=self.pos_weights.get("actor_actions"),
+            ),
+        }
+        total = None
+        for name, value in parts.items():
+            weighted = value * self.weights[name]
+            total = weighted if total is None else total + weighted
+        breakdown = {name: float(value.item())
+                     for name, value in parts.items()}
+        return total, breakdown

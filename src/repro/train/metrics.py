@@ -1,0 +1,123 @@
+"""Classification metrics for the multi-task SDL heads (pure numpy)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy; ``predictions`` may be logits ``(N, C)`` or class
+    indices ``(N,)``."""
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    targets = np.asarray(targets)
+    if len(predictions) == 0:
+        return 0.0
+    return float((predictions == targets).mean())
+
+
+def multilabel_prf(probs: np.ndarray, targets: np.ndarray,
+                   threshold: float = 0.5) -> Dict[str, np.ndarray]:
+    """Per-tag precision/recall/F1 for multi-label predictions.
+
+    ``probs``: ``(N, K)`` probabilities (or logits — anything monotone in
+    probability works against a 0.5-prob threshold only if already
+    sigmoided; pass probabilities).  Returns per-tag arrays plus macro
+    and micro aggregates.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    targets = np.asarray(targets, dtype=bool)
+    preds = probs >= threshold
+    tp = (preds & targets).sum(axis=0).astype(np.float64)
+    fp = (preds & ~targets).sum(axis=0).astype(np.float64)
+    fn = (~preds & targets).sum(axis=0).astype(np.float64)
+    precision = _safe_div(tp, tp + fp)
+    recall = _safe_div(tp, tp + fn)
+    f1 = _safe_div(2 * precision * recall, precision + recall)
+    # A tag absent from both targets and predictions is perfectly
+    # classified (zero_division=1 semantics); without this, macro-F1
+    # punishes evaluation slices that lack some tags entirely.
+    trivial = (tp + fp + fn) == 0
+    precision = np.where(trivial, 1.0, precision)
+    recall = np.where(trivial, 1.0, recall)
+    f1 = np.where(trivial, 1.0, f1)
+    micro_p = _safe_div(tp.sum(), tp.sum() + fp.sum())
+    micro_r = _safe_div(tp.sum(), tp.sum() + fn.sum())
+    return {
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "macro_f1": float(f1.mean()) if f1.size else 0.0,
+        "micro_f1": float(_safe_div(2 * micro_p * micro_r,
+                                    micro_p + micro_r)),
+        "support": targets.sum(axis=0),
+    }
+
+
+def multilabel_f1(probs: np.ndarray, targets: np.ndarray,
+                  threshold: float = 0.5, average: str = "macro") -> float:
+    """Convenience wrapper returning a single F1 number."""
+    stats = multilabel_prf(probs, targets, threshold)
+    if average == "macro":
+        return stats["macro_f1"]
+    if average == "micro":
+        return stats["micro_f1"]
+    raise ValueError(f"unknown average {average!r}")
+
+
+def average_precision(scores: np.ndarray, targets: np.ndarray) -> float:
+    """Average precision (area under the PR curve) for one tag."""
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets, dtype=bool)
+    n_pos = int(targets.sum())
+    if n_pos == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")
+    sorted_targets = targets[order]
+    cum_tp = np.cumsum(sorted_targets)
+    precision_at = cum_tp / np.arange(1, len(scores) + 1)
+    return float((precision_at * sorted_targets).sum() / n_pos)
+
+
+def mean_average_precision(probs: np.ndarray, targets: np.ndarray) -> float:
+    """mAP over tags; tags with no positives are skipped."""
+    probs = np.asarray(probs)
+    targets = np.asarray(targets, dtype=bool)
+    aps = [average_precision(probs[:, k], targets[:, k])
+           for k in range(probs.shape[1]) if targets[:, k].any()]
+    return float(np.mean(aps)) if aps else 0.0
+
+
+def subset_accuracy(pred_sets: Sequence[frozenset],
+                    true_sets: Sequence[frozenset]) -> float:
+    """Exact-match rate between predicted and true descriptions (any
+    hashable items — here full tag sets)."""
+    if len(pred_sets) != len(true_sets):
+        raise ValueError("length mismatch")
+    if not pred_sets:
+        return 0.0
+    hits = sum(p == t for p, t in zip(pred_sets, true_sets))
+    return hits / len(pred_sets)
+
+
+def hamming_loss(probs: np.ndarray, targets: np.ndarray,
+                 threshold: float = 0.5) -> float:
+    """Fraction of wrong binary tags."""
+    preds = np.asarray(probs) >= threshold
+    targets = np.asarray(targets, dtype=bool)
+    if preds.size == 0:
+        return 0.0
+    return float((preds != targets).mean())
+
+
+def _safe_div(num, den):
+    num = np.asarray(num, dtype=np.float64)
+    den = np.asarray(den, dtype=np.float64)
+    out = np.zeros_like(num)
+    np.divide(num, den, out=out, where=den > 0)
+    if out.ndim == 0:
+        return float(out)
+    return out

@@ -1,0 +1,238 @@
+"""The training/evaluation loop for SDL extraction models."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.data.loader import DataLoader
+from repro.data.synthdrive import SynthDriveDataset
+from repro.nn.module import Module
+from repro.optim import AdamW, CosineWithWarmup, clip_grad_norm
+from repro.sdl.codec import LabelCodec
+from repro.train.losses import MultiTaskLoss
+from repro.train.metrics import (
+    accuracy,
+    hamming_loss,
+    mean_average_precision,
+    multilabel_prf,
+    subset_accuracy,
+)
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 8
+    batch_size: int = 16
+    lr: float = 3e-3
+    weight_decay: float = 0.01
+    warmup_fraction: float = 0.1
+    clip_norm: float = 5.0
+    seed: int = 0
+    eval_threshold: float = 0.5
+    verbose: bool = False
+    patience: Optional[int] = None
+    """Early stopping: halt after this many epochs without improvement
+    of ``monitor`` on the validation set (requires ``val_set``); the
+    best-epoch weights are restored."""
+    monitor: str = "actions_macro_f1"
+
+
+@dataclass
+class EpochRecord:
+    epoch: int
+    train_loss: float
+    val_metrics: Optional[Dict[str, float]]
+    seconds: float
+
+
+class Trainer:
+    """Trains a clip model with AdamW + warmup-cosine and evaluates the
+    full SDL metric set."""
+
+    def __init__(self, model: Module, config: Optional[TrainConfig] = None,
+                 codec: Optional[LabelCodec] = None,
+                 loss: Optional[MultiTaskLoss] = None,
+                 transform=None) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.codec = codec or LabelCodec()
+        self.loss = loss or MultiTaskLoss()
+        self.transform = transform
+        self.history: List[EpochRecord] = []
+
+    # -- training --------------------------------------------------------
+    def fit(self, train_set: SynthDriveDataset,
+            val_set: Optional[SynthDriveDataset] = None,
+            target_override: Optional[Dict[str, np.ndarray]] = None
+            ) -> List[EpochRecord]:
+        """Train for ``config.epochs``.  ``target_override`` replaces the
+        dataset's encoded targets (used for label-noise experiments)."""
+        cfg = self.config
+        loader = DataLoader(train_set, batch_size=cfg.batch_size,
+                            shuffle=True, seed=cfg.seed,
+                            transform=self.transform)
+        optimizer = AdamW(self.model.parameters(), lr=cfg.lr,
+                          weight_decay=cfg.weight_decay)
+        total_steps = max(len(loader) * cfg.epochs, 2)
+        warmup = max(1, int(cfg.warmup_fraction * total_steps))
+        schedule = CosineWithWarmup(optimizer, warmup, total_steps)
+
+        if cfg.patience is not None and val_set is None:
+            raise ValueError("early stopping (patience) requires a val_set")
+
+        original_targets = train_set.targets
+        if target_override is not None:
+            train_set.targets = target_override
+        best_score = -np.inf
+        best_state = None
+        stale_epochs = 0
+        try:
+            for epoch in range(cfg.epochs):
+                start = time.perf_counter()
+                self.model.train()
+                losses = []
+                for batch in loader:
+                    logits = self.model(Tensor(batch["video"]))
+                    total, _ = self.loss(logits, batch)
+                    optimizer.zero_grad()
+                    total.backward()
+                    clip_grad_norm(self.model.parameters(), cfg.clip_norm)
+                    optimizer.step()
+                    schedule.step()
+                    losses.append(float(total.item()))
+                val_metrics = (self.evaluate(val_set)
+                               if val_set is not None else None)
+                record = EpochRecord(
+                    epoch=epoch,
+                    train_loss=float(np.mean(losses)) if losses else 0.0,
+                    val_metrics=val_metrics,
+                    seconds=time.perf_counter() - start,
+                )
+                self.history.append(record)
+                if cfg.verbose:
+                    extra = (f" val_macroF1={val_metrics['actions_macro_f1']:.3f}"
+                             if val_metrics else "")
+                    print(f"epoch {epoch}: loss={record.train_loss:.4f}"
+                          f" ({record.seconds:.1f}s){extra}")
+                if cfg.patience is not None:
+                    score = val_metrics[cfg.monitor]
+                    if score > best_score + 1e-9:
+                        best_score = score
+                        best_state = self.model.state_dict()
+                        stale_epochs = 0
+                    else:
+                        stale_epochs += 1
+                        if stale_epochs >= cfg.patience:
+                            break
+            if best_state is not None:
+                self.model.load_state_dict(best_state)
+        finally:
+            train_set.targets = original_targets
+        return self.history
+
+    # -- inference -----------------------------------------------------------
+    def predict_logits(self, videos: np.ndarray,
+                       batch_size: Optional[int] = None
+                       ) -> Dict[str, np.ndarray]:
+        """Batched no-grad forward pass; returns stacked logits."""
+        if len(videos) == 0:
+            raise ValueError("cannot predict on an empty dataset")
+        batch_size = batch_size or self.config.batch_size
+        self.model.eval()
+        pieces: Dict[str, List[np.ndarray]] = {}
+        with no_grad():
+            for start in range(0, len(videos), batch_size):
+                chunk = videos[start:start + batch_size]
+                logits = self.model(Tensor(chunk))
+                for key, value in logits.items():
+                    pieces.setdefault(key, []).append(value.data)
+        return {key: np.concatenate(vals) for key, vals in pieces.items()}
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(self, dataset: SynthDriveDataset,
+                 threshold: Optional[float] = None) -> Dict[str, float]:
+        """Full SDL metric suite on a dataset."""
+        threshold = threshold if threshold is not None \
+            else self.config.eval_threshold
+        logits = self.predict_logits(dataset.videos)
+        targets = dataset.targets
+        actor_probs = _sigmoid(logits["actors"])
+        action_probs = _sigmoid(logits["actor_actions"])
+
+        decoded = self.codec.decode_batch(logits, threshold=threshold)
+        pred_tags = [d.all_tags() for d in decoded]
+        true_tags = [d.all_tags() for d in dataset.descriptions]
+
+        actors_stats = multilabel_prf(actor_probs, targets["actors"],
+                                      threshold)
+        actions_stats = multilabel_prf(action_probs,
+                                       targets["actor_actions"], threshold)
+        return {
+            "scene_acc": accuracy(logits["scene"], targets["scene"]),
+            "ego_acc": accuracy(logits["ego_action"], targets["ego_action"]),
+            "actors_macro_f1": actors_stats["macro_f1"],
+            "actors_micro_f1": actors_stats["micro_f1"],
+            "actions_macro_f1": actions_stats["macro_f1"],
+            "actions_micro_f1": actions_stats["micro_f1"],
+            "actions_map": mean_average_precision(
+                action_probs, targets["actor_actions"]
+            ),
+            "subset_acc": subset_accuracy(pred_tags, true_tags),
+            "hamming": hamming_loss(
+                np.concatenate([actor_probs, action_probs], axis=1),
+                np.concatenate(
+                    [targets["actors"], targets["actor_actions"]], axis=1
+                ),
+                threshold,
+            ),
+        }
+
+    def per_tag_report(self, dataset: SynthDriveDataset,
+                       threshold: Optional[float] = None) -> Dict[str, Dict]:
+        """Per-tag P/R/F1 for both multi-label heads plus per-class
+        accuracy of the categorical heads (Table 2)."""
+        threshold = threshold if threshold is not None \
+            else self.config.eval_threshold
+        logits = self.predict_logits(dataset.videos)
+        targets = dataset.targets
+        vocab = self.codec.vocab
+        report: Dict[str, Dict] = {}
+
+        actors_stats = multilabel_prf(_sigmoid(logits["actors"]),
+                                      targets["actors"], threshold)
+        for i, tag in enumerate(vocab.actor_types):
+            report[f"actor:{tag}"] = {
+                "precision": float(actors_stats["precision"][i]),
+                "recall": float(actors_stats["recall"][i]),
+                "f1": float(actors_stats["f1"][i]),
+                "support": int(actors_stats["support"][i]),
+            }
+        actions_stats = multilabel_prf(_sigmoid(logits["actor_actions"]),
+                                       targets["actor_actions"], threshold)
+        for i, tag in enumerate(vocab.actor_actions):
+            report[f"action:{tag}"] = {
+                "precision": float(actions_stats["precision"][i]),
+                "recall": float(actions_stats["recall"][i]),
+                "f1": float(actions_stats["f1"][i]),
+                "support": int(actions_stats["support"][i]),
+            }
+        ego_preds = logits["ego_action"].argmax(axis=1)
+        for i, tag in enumerate(vocab.ego_actions):
+            mask = targets["ego_action"] == i
+            if not mask.any():
+                continue
+            report[f"ego:{tag}"] = {
+                "accuracy": float((ego_preds[mask] == i).mean()),
+                "support": int(mask.sum()),
+            }
+        return report
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))

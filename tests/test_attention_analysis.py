@@ -1,0 +1,66 @@
+"""Tests for the attention-on-actors analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data import SynthDriveConfig, generate_dataset
+from repro.eval.attention_analysis import (
+    actor_patch_mask,
+    attention_on_actors,
+    spatial_attention_maps,
+)
+from repro.models import ModelConfig, build_model
+
+CFG = ModelConfig(frames=4, height=16, width=16, dim=16, depth=2,
+                  num_heads=2, patch_size=8, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def clip_with_actors():
+    dataset = generate_dataset(SynthDriveConfig(
+        num_clips=2, frames=4, height=16, width=16, seed=0,
+        families=("lead-follow",),
+    ))
+    return dataset.videos[0]
+
+
+class TestActorPatchMask:
+    def test_shape(self, clip_with_actors):
+        mask = actor_patch_mask(clip_with_actors, patch_size=8)
+        assert mask.shape == (4, 4)
+
+    def test_detects_lead_vehicle(self, clip_with_actors):
+        mask = actor_patch_mask(clip_with_actors, patch_size=8)
+        assert mask.any()
+
+    def test_empty_for_blank_clip(self):
+        blank = np.zeros((2, 3, 16, 16), dtype=np.float32)
+        assert not actor_patch_mask(blank, 8).any()
+
+
+class TestAttentionMaps:
+    def test_shape_and_normalisation(self, clip_with_actors):
+        model = build_model("vt-divided", CFG)
+        maps = spatial_attention_maps(model, clip_with_actors)
+        assert maps.shape == (4, 2, 4, 4)  # (T, heads, N, N)
+        np.testing.assert_allclose(maps.sum(axis=-1), 1.0, rtol=1e-4)
+
+    def test_requires_divided_model(self, clip_with_actors):
+        model = build_model("vt-joint", CFG)
+        with pytest.raises(ValueError):
+            spatial_attention_maps(model, clip_with_actors)
+
+
+class TestAttentionOnActors:
+    def test_metrics_bounded(self, clip_with_actors):
+        model = build_model("vt-divided", CFG)
+        stats = attention_on_actors(model, clip_with_actors)
+        assert 0.0 <= stats["attention_on_actors"] <= 1.0
+        assert 0.0 < stats["actor_area"] < 1.0
+        assert stats["focus_ratio"] >= 0.0
+
+    def test_blank_clip_zero(self):
+        model = build_model("vt-divided", CFG)
+        blank = np.zeros((4, 3, 16, 16), dtype=np.float32)
+        stats = attention_on_actors(model, blank)
+        assert stats["focus_ratio"] == 0.0

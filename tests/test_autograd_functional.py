@@ -1,0 +1,218 @@
+"""Unit tests for repro.autograd.functional (activations, fused ops, losses)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import functional as F
+
+RNG = np.random.default_rng(42)
+
+
+def rand_tensor(*shape, scale=1.0):
+    return Tensor(RNG.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        x = Tensor([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(F.relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        gradcheck(lambda x: F.relu(x).sum(), [rand_tensor(4, 4)])
+
+    def test_gelu_matches_reference(self):
+        x = rand_tensor(100)
+        v = x.data.astype(np.float64)
+        ref = 0.5 * v * (1 + np.tanh(np.sqrt(2 / np.pi) * (v + 0.044715 * v**3)))
+        np.testing.assert_allclose(F.gelu(x).data, ref, atol=1e-5)
+
+    def test_gelu_grad(self):
+        gradcheck(lambda x: F.gelu(x).sum(), [rand_tensor(3, 5)])
+
+    def test_sigmoid_range_and_grad(self):
+        x = rand_tensor(4, 4, scale=3.0)
+        y = F.sigmoid(x)
+        assert ((y.data > 0) & (y.data < 1)).all()
+        gradcheck(lambda t: F.sigmoid(t).sum(), [x])
+
+    def test_tanh_alias(self):
+        x = rand_tensor(5)
+        np.testing.assert_allclose(F.tanh(x).data, np.tanh(x.data), rtol=1e-6)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        y = F.softmax(rand_tensor(3, 7), axis=-1)
+        np.testing.assert_allclose(y.data.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_softmax_shift_invariance(self):
+        x = rand_tensor(2, 5)
+        shifted = Tensor(x.data + 100.0)
+        np.testing.assert_allclose(F.softmax(x).data,
+                                   F.softmax(shifted).data, atol=1e-5)
+
+    def test_softmax_extreme_values_stable(self):
+        x = Tensor(np.array([[1000.0, -1000.0, 0.0]]))
+        y = F.softmax(x).data
+        assert np.isfinite(y).all()
+        assert y[0, 0] == pytest.approx(1.0)
+
+    def test_softmax_grad(self):
+        gradcheck(lambda x: (F.softmax(x, axis=-1) ** 2).sum(),
+                  [rand_tensor(3, 4)])
+
+    def test_softmax_axis0_grad(self):
+        gradcheck(lambda x: (F.softmax(x, axis=0) ** 2).sum(),
+                  [rand_tensor(4, 3)])
+
+    def test_log_softmax_is_log_of_softmax(self):
+        x = rand_tensor(3, 6)
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data), atol=1e-5)
+
+    def test_log_softmax_grad(self):
+        weight = Tensor(RNG.random((3, 4)))
+        gradcheck(lambda x: (F.log_softmax(x) * weight).sum(),
+                  [rand_tensor(3, 4)])
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        x = rand_tensor(4, 8, scale=5.0)
+        w = Tensor(np.ones(8), requires_grad=True)
+        b = Tensor(np.zeros(8), requires_grad=True)
+        y = F.layer_norm(x, w, b).data
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_applied(self):
+        x = rand_tensor(2, 4)
+        w = Tensor(np.full(4, 2.0))
+        b = Tensor(np.full(4, 3.0))
+        y = F.layer_norm(x, w, b).data
+        np.testing.assert_allclose(y.mean(axis=-1), 3.0, atol=1e-4)
+
+    def test_grads_all_inputs(self):
+        x = rand_tensor(3, 6)
+        w = Tensor(RNG.standard_normal(6), requires_grad=True)
+        b = Tensor(RNG.standard_normal(6), requires_grad=True)
+        gradcheck(lambda a, ww, bb: (F.layer_norm(a, ww, bb) ** 2).sum(),
+                  [x, w, b])
+
+
+class TestStructural:
+    def test_concat_forward_and_grad(self):
+        a, b = rand_tensor(2, 3), rand_tensor(4, 3)
+        out = F.concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        gradcheck(lambda x, y: F.concat([x, y], axis=0).tanh().sum(), [a, b])
+
+    def test_concat_axis1_grad(self):
+        a, b = rand_tensor(2, 3), rand_tensor(2, 5)
+        gradcheck(lambda x, y: F.concat([x, y], axis=1).tanh().sum(), [a, b])
+
+    def test_stack_forward_and_grad(self):
+        a, b, c = rand_tensor(2, 3), rand_tensor(2, 3), rand_tensor(2, 3)
+        out = F.stack([a, b, c], axis=1)
+        assert out.shape == (2, 3, 3)
+        gradcheck(lambda *ts: F.stack(ts, axis=1).tanh().sum(), [a, b, c])
+
+    def test_pad_forward_and_grad(self):
+        a = rand_tensor(2, 3)
+        out = F.pad(a, [(1, 1), (0, 2)])
+        assert out.shape == (4, 5)
+        assert out.data[0].sum() == 0.0
+        gradcheck(lambda x: F.pad(x, [(1, 1), (0, 2)]).tanh().sum(), [a])
+
+    def test_where_grad_routes_by_condition(self):
+        a, b = rand_tensor(4), rand_tensor(4)
+        cond = np.array([True, False, True, False])
+        F.where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0, 1.0, 0.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_embedding_lookup_and_grad(self):
+        w = rand_tensor(10, 4)
+        idx = np.array([[1, 2], [2, 9]])
+        out = F.embedding(w, idx)
+        assert out.shape == (2, 2, 4)
+        out.sum().backward()
+        assert w.grad[2].sum() == pytest.approx(8.0, rel=1e-5)
+        assert w.grad[0].sum() == 0.0
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        x = rand_tensor(10, 10)
+        y = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert y is x
+
+    def test_identity_when_p_zero(self):
+        x = rand_tensor(5)
+        assert F.dropout(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        y = F.dropout(x, 0.3, np.random.default_rng(0))
+        assert y.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_grad_uses_same_mask(self):
+        x = Tensor(np.ones((50, 50)), requires_grad=True)
+        y = F.dropout(x, 0.5, np.random.default_rng(3))
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, (y.data > 0) * 2.0)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = rand_tensor(4, 3)
+        targets = np.array([0, 2, 1, 1])
+        loss = F.cross_entropy(logits, targets)
+        z = logits.data.astype(np.float64)
+        p = np.exp(z - z.max(axis=1, keepdims=True))
+        p /= p.sum(axis=1, keepdims=True)
+        manual = -np.log(p[np.arange(4), targets]).mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-4)
+
+    def test_cross_entropy_grad(self):
+        logits = rand_tensor(5, 4)
+        targets = np.array([0, 1, 2, 3, 0])
+        gradcheck(lambda z: F.cross_entropy(z, targets), [logits])
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[20.0, -20.0], [-20.0, 20.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_bce_matches_manual(self):
+        logits = rand_tensor(6, 3)
+        targets = (RNG.random((6, 3)) > 0.5).astype(np.float32)
+        loss = F.binary_cross_entropy_with_logits(logits, targets)
+        z = logits.data.astype(np.float64)
+        p = 1 / (1 + np.exp(-z))
+        manual = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-4)
+
+    def test_bce_grad(self):
+        logits = rand_tensor(4, 3)
+        targets = (RNG.random((4, 3)) > 0.5).astype(np.float32)
+        gradcheck(lambda z: F.binary_cross_entropy_with_logits(z, targets),
+                  [logits])
+
+    def test_bce_pos_weight_grad(self):
+        logits = rand_tensor(4, 3)
+        targets = (RNG.random((4, 3)) > 0.5).astype(np.float32)
+        pw = np.array([2.0, 1.0, 0.5], dtype=np.float32)
+        gradcheck(
+            lambda z: F.binary_cross_entropy_with_logits(z, targets, pw),
+            [logits],
+        )
+
+    def test_bce_extreme_logits_stable(self):
+        logits = Tensor(np.array([[60.0, -60.0]]), requires_grad=True)
+        targets = np.array([[1.0, 0.0]], dtype=np.float32)
+        loss = F.binary_cross_entropy_with_logits(logits, targets)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(logits.grad).all()

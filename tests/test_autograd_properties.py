@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the autodiff engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import functional as F
+
+finite_floats = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False,
+                          allow_infinity=False, width=32)
+
+
+def small_arrays(max_dims=3, max_side=4):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1,
+                           max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_commutative(a):
+    x, y = Tensor(a), Tensor(a[::-1].copy())
+    np.testing.assert_allclose((x + y).data, (y + x).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_then_backward_gives_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_is_distribution(a):
+    if a.ndim == 1:
+        a = a[None, :]
+    y = F.softmax(Tensor(a), axis=-1).data
+    assert (y >= 0).all()
+    np.testing.assert_allclose(y.sum(axis=-1), 1.0, rtol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_relu_idempotent(a):
+    x = Tensor(a)
+    once = F.relu(x).data
+    twice = F.relu(F.relu(x)).data
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(max_dims=2, max_side=4))
+def test_linear_chain_gradcheck(a):
+    """Random small inputs through a nonlinear chain must pass gradcheck."""
+    t = Tensor(a, requires_grad=True)
+    gradcheck(lambda x: (x.tanh() * 0.5 + x ** 2).mean(), [t],
+              atol=3e-2, rtol=8e-2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=3))
+def test_reshape_roundtrip_preserves_grad_shape(a):
+    t = Tensor(a, requires_grad=True)
+    t.reshape(-1).reshape(a.shape).sum().backward()
+    assert t.grad.shape == a.shape
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+def test_matmul_identity(n, m):
+    rng = np.random.default_rng(n * 10 + m)
+    a = Tensor(rng.standard_normal((n, m)).astype(np.float32))
+    eye = Tensor(np.eye(m, dtype=np.float32))
+    np.testing.assert_allclose((a @ eye).data, a.data, rtol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_bce_nonnegative(a):
+    logits = Tensor(a if a.ndim == 2 else a[None, :])
+    targets = (np.sign(logits.data) > 0).astype(np.float32)
+    loss = F.binary_cross_entropy_with_logits(logits, targets)
+    assert loss.item() >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_layer_norm_scale_invariance(a):
+    """LayerNorm output is invariant to input scaling (up to eps effects)."""
+    if a.ndim == 1:
+        a = a[None, :]
+    if a.shape[-1] < 2 or np.any(a.std(axis=-1) < 0.1):
+        return
+    w = Tensor(np.ones(a.shape[-1], dtype=np.float32))
+    b = Tensor(np.zeros(a.shape[-1], dtype=np.float32))
+    y1 = F.layer_norm(Tensor(a), w, b, eps=1e-8).data
+    y2 = F.layer_norm(Tensor(a * 10.0), w, b, eps=1e-8).data
+    np.testing.assert_allclose(y1, y2, atol=1e-3)

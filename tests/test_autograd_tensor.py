@@ -1,0 +1,249 @@
+"""Unit tests for the core Tensor type and its arithmetic/shape ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, no_grad, ones, randn, tensor, zeros
+
+RNG = np.random.default_rng(1234)
+
+
+def rand_tensor(*shape, scale=1.0):
+    return Tensor(RNG.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestConstruction:
+    def test_tensor_from_list(self):
+        t = tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float32
+
+    def test_tensor_from_int_list_is_float(self):
+        assert tensor([1, 2, 3]).dtype == np.float32
+
+    def test_zeros_ones(self):
+        assert zeros(2, 3).data.sum() == 0.0
+        assert ones((2, 3)).data.sum() == 6.0
+
+    def test_randn_seeded_reproducible(self):
+        a = randn(4, 4, rng=np.random.default_rng(7))
+        b = randn(4, 4, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_detach_shares_data_no_grad(self):
+        t = rand_tensor(3)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_item_scalar(self):
+        assert tensor([2.5]).item() == pytest.approx(2.5)
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad=True" in repr(rand_tensor(1))
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        a, b = tensor([1.0, 2.0]), tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+
+    def test_scalar_radd(self):
+        np.testing.assert_allclose((1.0 + tensor([1.0])).data, [2.0])
+
+    def test_sub_rsub(self):
+        a = tensor([5.0])
+        np.testing.assert_allclose((10.0 - a).data, [5.0])
+        np.testing.assert_allclose((a - 1.0).data, [4.0])
+
+    def test_div_rdiv(self):
+        a = tensor([4.0])
+        np.testing.assert_allclose((a / 2.0).data, [2.0])
+        np.testing.assert_allclose((8.0 / a).data, [2.0])
+
+    def test_grad_add_broadcast(self):
+        a = rand_tensor(3, 4)
+        b = rand_tensor(4)
+        gradcheck(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_grad_mul_broadcast(self):
+        a = rand_tensor(2, 3, 4)
+        b = rand_tensor(3, 1)
+        gradcheck(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_grad_div(self):
+        a = rand_tensor(3, 3)
+        b = Tensor(RNG.random((3, 3)) + 1.0, requires_grad=True)
+        gradcheck(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_grad_pow(self):
+        a = Tensor(RNG.random((3, 3)) + 0.5, requires_grad=True)
+        gradcheck(lambda x: (x ** 3).sum(), [a])
+
+    def test_grad_neg(self):
+        gradcheck(lambda x: (-x).sum(), [rand_tensor(4)])
+
+    def test_pow_non_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            rand_tensor(2) ** tensor([2.0])
+
+    def test_reused_operand_accumulates(self):
+        a = rand_tensor(3)
+        out = (a * a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data, rtol=1e-5)
+
+
+class TestMatmul:
+    def test_matmul_2d(self):
+        a, b = rand_tensor(3, 4), rand_tensor(4, 5)
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data, rtol=1e-5)
+
+    def test_matmul_batched(self):
+        a, b = rand_tensor(2, 3, 4, 5), rand_tensor(2, 3, 5, 6)
+        gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self):
+        a, b = rand_tensor(2, 3, 4, 5), rand_tensor(5, 6)
+        gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ValueError):
+            rand_tensor(3) @ rand_tensor(3, 2)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = rand_tensor(2, 3, 4)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1, 4)
+
+    def test_sum_grad_axis_tuple(self):
+        a = rand_tensor(2, 3, 4)
+        gradcheck(lambda x: x.sum(axis=(0, 2)).sum(), [a])
+
+    def test_mean_matches_numpy(self):
+        a = rand_tensor(3, 5)
+        np.testing.assert_allclose(a.mean(axis=0).data, a.data.mean(axis=0),
+                                   rtol=1e-5)
+
+    def test_mean_grad(self):
+        gradcheck(lambda x: x.mean(axis=1).sum(), [rand_tensor(3, 5)])
+
+    def test_max_grad_unique(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 3.0, 4.0]]),
+                   requires_grad=True)
+        a.max(axis=1).sum().backward()
+        expected = np.array([[0, 1, 0], [1, 0, 0]], dtype=np.float32)
+        np.testing.assert_array_equal(a.grad, expected)
+
+    def test_max_grad_ties_split(self):
+        a = Tensor(np.array([[2.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+    def test_var_matches_numpy(self):
+        a = rand_tensor(4, 6)
+        np.testing.assert_allclose(a.var(axis=1).data, a.data.var(axis=1),
+                                   rtol=1e-4, atol=1e-6)
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        gradcheck(lambda x: x.reshape(6, 2).tanh().sum(), [rand_tensor(3, 4)])
+
+    def test_transpose_grad(self):
+        gradcheck(lambda x: x.transpose(2, 0, 1).tanh().sum(),
+                  [rand_tensor(2, 3, 4)])
+
+    def test_swapaxes(self):
+        a = rand_tensor(2, 3, 4)
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_default_transpose_reverses(self):
+        assert rand_tensor(2, 3, 4).T.shape == (4, 3, 2)
+
+    def test_getitem_slice_grad(self):
+        gradcheck(lambda x: x[1:, ::2].sum(), [rand_tensor(4, 6)])
+
+    def test_getitem_fancy_grad(self):
+        a = rand_tensor(5, 3)
+        idx = np.array([0, 2, 2, 4])
+        gradcheck(lambda x: x[idx].sum(), [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = rand_tensor(3)
+        a[np.array([1, 1, 1])].sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 3.0, 0.0])
+
+
+class TestElementwise:
+    def test_exp_log_roundtrip_grad(self):
+        a = Tensor(RNG.random((3, 3)) + 0.5, requires_grad=True)
+        gradcheck(lambda x: x.exp().log().sum(), [a])
+
+    def test_sqrt_grad(self):
+        a = Tensor(RNG.random((3, 3)) + 0.5, requires_grad=True)
+        gradcheck(lambda x: x.sqrt().sum(), [a])
+
+    def test_tanh_grad(self):
+        gradcheck(lambda x: x.tanh().sum(), [rand_tensor(3, 3)])
+
+    def test_clip_grad_masks_outside(self):
+        a = Tensor(np.array([-2.0, 0.0, 2.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_no_grad_blocks_graph(self):
+        a = rand_tensor(3)
+        with no_grad():
+            out = (a * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        from repro.autograd import is_grad_enabled
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_backward_on_non_scalar_requires_grad_arg(self):
+        a = rand_tensor(3)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            tensor([1.0]).backward()
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        a = rand_tensor(3)
+        b = a * 2.0
+        out = (b + b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [4.0, 4.0, 4.0])
+
+    def test_zero_grad(self):
+        a = rand_tensor(3)
+        (a * 1.0).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_grad_accumulates_across_backwards(self):
+        a = rand_tensor(3)
+        a.sum().backward()
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 2.0, 2.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = rand_tensor(2)
+        out = a
+        for _ in range(2000):
+            out = out * 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])

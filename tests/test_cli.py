@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import SynthDriveDataset
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "data.npz")
+    code = main(["generate", "--clips", "12", "--frames", "4",
+                 "--out", path])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def checkpoint_file(dataset_file, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "model.npz")
+    code = main(["train", "--data", dataset_file, "--out", path,
+                 "--epochs", "1", "--model", "frame-mlp",
+                 "--dim", "16", "--depth", "1", "--heads", "2"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--data", "x",
+                                       "--out", "y", "--model", "gpt"])
+
+
+class TestGenerate:
+    def test_output_loadable(self, dataset_file):
+        dataset = SynthDriveDataset.load(dataset_file)
+        assert len(dataset) == 12
+        assert dataset.videos.shape[1] == 4
+
+
+class TestTrainExtractEvaluate:
+    def test_extract_prints_sentences(self, dataset_file, checkpoint_file,
+                                      capsys):
+        code = main(["extract", "--data", dataset_file,
+                     "--checkpoint", checkpoint_file, "--limit", "3",
+                     "--model", "frame-mlp", "--dim", "16",
+                     "--depth", "1", "--heads", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("clip ") == 3
+        assert "ego vehicle" in out
+
+    def test_extract_json_mode(self, dataset_file, checkpoint_file,
+                               capsys):
+        code = main(["extract", "--data", dataset_file,
+                     "--checkpoint", checkpoint_file, "--limit", "1",
+                     "--json", "--model", "frame-mlp", "--dim", "16",
+                     "--depth", "1", "--heads", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = out.strip().splitlines()[1].strip()
+        decoded = json.loads(payload)
+        assert "ego_action" in decoded
+
+    def test_evaluate_emits_metrics_json(self, dataset_file,
+                                         checkpoint_file, capsys):
+        code = main(["evaluate", "--data", dataset_file,
+                     "--checkpoint", checkpoint_file,
+                     "--model", "frame-mlp", "--dim", "16",
+                     "--depth", "1", "--heads", "2"])
+        assert code == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert "ego_acc" in metrics
+        assert 0.0 <= metrics["ego_acc"] <= 1.0

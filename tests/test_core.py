@@ -1,0 +1,192 @@
+"""Tests for the core pipeline: extraction, mining, retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RetrievalIndex,
+    ScenarioExtractor,
+    ScenarioMiner,
+    retrieval_metrics,
+)
+from repro.data import SynthDriveConfig, generate_dataset
+from repro.models import ModelConfig, build_model
+from repro.sdl import ScenarioDescription
+from repro.train import TrainConfig, Trainer
+
+CFG = ModelConfig(frames=4, height=16, width=16, dim=16, depth=1,
+                  num_heads=2, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def trained_extractor():
+    dataset = generate_dataset(SynthDriveConfig(
+        num_clips=30, frames=4, height=16, width=16, seed=5,
+        families=("free-drive", "pedestrian-crossing", "turn-left"),
+    ))
+    model = build_model("vt-divided", CFG)
+    trainer = Trainer(model, TrainConfig(epochs=8, batch_size=8, lr=3e-3))
+    trainer.fit(dataset)
+    return ScenarioExtractor(model), dataset
+
+
+class TestExtractor:
+    def test_extract_single_clip(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        result = extractor.extract(dataset.videos[0])
+        assert isinstance(result.description, ScenarioDescription)
+        assert result.sentence.endswith(".")
+        assert set(result.confidences) == {"scene", "ego_action", "actors",
+                                           "actor_actions"}
+        assert result.frame_range == (0, 4)
+
+    def test_extract_batch_length(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        results = extractor.extract_batch(dataset.videos[:6])
+        assert len(results) == 6
+
+    def test_confidences_are_probabilities(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        result = extractor.extract(dataset.videos[0])
+        for value in result.confidences.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_extraction_matches_ground_truth_on_train(self,
+                                                      trained_extractor):
+        """The model has fit the 3-family training set; extracted scene
+        and ego action should mostly match ground truth."""
+        extractor, dataset = trained_extractor
+        results = extractor.extract_batch(dataset.videos)
+        scene_hits = sum(
+            r.description.scene == d.scene
+            for r, d in zip(results, dataset.descriptions)
+        )
+        assert scene_hits / len(results) > 0.8
+
+    def test_wrong_rank_raises(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        with pytest.raises(ValueError):
+            extractor.extract(dataset.videos)  # batch passed to single
+        with pytest.raises(ValueError):
+            extractor.extract_batch(dataset.videos[0])
+
+    def test_sliding_windows_cover_video(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        long_video = np.concatenate([dataset.videos[0],
+                                     dataset.videos[1]], axis=0)  # 8 frames
+        results = extractor.extract_sliding(long_video, window=4, stride=2)
+        assert [r.frame_range for r in results] == [(0, 4), (2, 6), (4, 8)]
+
+    def test_sliding_validates_args(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        with pytest.raises(ValueError):
+            extractor.extract_sliding(dataset.videos[0], window=0, stride=1)
+        with pytest.raises(ValueError):
+            extractor.extract_sliding(dataset.videos[0], window=16, stride=1)
+
+
+class TestMiner:
+    def test_index_and_query(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index(dataset.videos[:12])
+        assert miner.size == 12
+        query = dataset.descriptions[0]
+        hits = miner.query(query, top_k=3)
+        assert len(hits) == 3
+        assert hits[0].score >= hits[-1].score
+
+    def test_query_before_index_raises(self, trained_extractor):
+        extractor, _ = trained_extractor
+        with pytest.raises(RuntimeError):
+            ScenarioMiner(extractor).query(
+                ScenarioDescription(scene="straight-road",
+                                    ego_action="stop")
+            )
+
+    def test_ground_truth_index_finds_same_family(self, trained_extractor):
+        """With oracle descriptions indexed, querying a family's
+        description must surface clips of that family first."""
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index_descriptions(dataset.descriptions)
+        ped_idx = dataset.families.index("pedestrian-crossing")
+        hits = miner.query(dataset.descriptions[ped_idx], top_k=5)
+        top_families = [dataset.families[h.clip_id] for h in hits[:3]]
+        assert top_families.count("pedestrian-crossing") >= 2
+
+    def test_query_tags_convenience(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index_descriptions(dataset.descriptions)
+        hits = miner.query_tags(top_k=4, ego_action="stop",
+                                actors={"pedestrian"},
+                                actor_actions={"crossing"})
+        assert len(hits) == 4
+
+    def test_min_score_filters(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index_descriptions(dataset.descriptions)
+        hits = miner.query(dataset.descriptions[0], top_k=30,
+                           min_score=0.999)
+        assert all(h.score >= 0.999 for h in hits)
+
+    def test_invalid_top_k(self, trained_extractor):
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index_descriptions(dataset.descriptions)
+        with pytest.raises(ValueError):
+            miner.query(dataset.descriptions[0], top_k=0)
+
+
+class TestRetrieval:
+    def descriptions(self):
+        return [
+            ScenarioDescription(scene="straight-road", ego_action="stop",
+                                actors=frozenset({"pedestrian"}),
+                                actor_actions=frozenset({"crossing"})),
+            ScenarioDescription(scene="intersection",
+                                ego_action="turn-left"),
+            ScenarioDescription(scene="straight-road",
+                                ego_action="drive-straight",
+                                actors=frozenset({"car"}),
+                                actor_actions=frozenset({"leading"})),
+        ]
+
+    def test_oracle_retrieval_perfect(self):
+        descs = self.descriptions()
+        index = RetrievalIndex()
+        index.add_batch(descs)
+        metrics = retrieval_metrics(descs, index, [0, 1, 2], ks=(1,))
+        assert metrics["recall@1"] == 1.0
+        assert metrics["mrr"] == 1.0
+
+    def test_query_ranks_exact_match_first(self):
+        descs = self.descriptions()
+        index = RetrievalIndex()
+        index.add_batch(descs)
+        assert index.query(descs[1], top_k=1) == [1]
+
+    def test_empty_index_raises(self):
+        with pytest.raises(RuntimeError):
+            RetrievalIndex().query(self.descriptions()[0])
+
+    def test_metrics_validate_lengths(self):
+        index = RetrievalIndex()
+        index.add_batch(self.descriptions())
+        with pytest.raises(ValueError):
+            retrieval_metrics(self.descriptions(), index, [0])
+
+    def test_recall_at_5_geq_recall_at_1(self):
+        descs = self.descriptions() * 3
+        index = RetrievalIndex()
+        index.add_batch(descs)
+        metrics = retrieval_metrics(descs, index, list(range(len(descs))),
+                                    ks=(1, 5))
+        assert metrics["recall@5"] >= metrics["recall@1"]
+
+    def test_len(self):
+        index = RetrievalIndex()
+        index.add_batch(self.descriptions())
+        assert len(index) == 3

@@ -1,0 +1,111 @@
+"""Tests for fps-based frame sampling and class-balanced BCE weighting."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import SynthDriveConfig, generate_dataset
+from repro.data.synthdrive import _frame_indices
+from repro.train import MultiTaskLoss
+
+
+class TestFrameIndices:
+    def test_uniform_covers_recording(self):
+        idx = _frame_indices(80, 8, dt=0.1, fps=None)
+        assert idx[0] == 0 and idx[-1] == 79
+        assert len(idx) == 8
+
+    def test_fps_fixed_step(self):
+        idx = _frame_indices(80, 4, dt=0.1, fps=2.0)
+        # 2 fps at dt=0.1 → every 5th snapshot.
+        assert list(np.diff(idx)) == [5, 5, 5]
+
+    def test_fps_centred(self):
+        idx = _frame_indices(80, 4, dt=0.1, fps=2.0)
+        span_center = (idx[0] + idx[-1]) / 2
+        assert abs(span_center - 79 / 2) <= 3
+
+    def test_fps_context_grows_with_frames(self):
+        short = _frame_indices(80, 2, dt=0.1, fps=2.0)
+        long = _frame_indices(80, 16, dt=0.1, fps=2.0)
+        assert (long[-1] - long[0]) > (short[-1] - short[0])
+
+    def test_fps_too_long_raises(self):
+        with pytest.raises(ValueError):
+            _frame_indices(20, 16, dt=0.1, fps=2.0)
+
+    def test_more_frames_than_snapshots_raises(self):
+        with pytest.raises(ValueError):
+            _frame_indices(4, 8, dt=0.1, fps=None)
+
+    def test_dataset_with_fps_generates(self):
+        dataset = generate_dataset(SynthDriveConfig(
+            num_clips=4, frames=4, height=16, width=16, seed=0, fps=2.0,
+        ))
+        assert dataset.videos.shape == (4, 4, 3, 16, 16)
+
+    def test_fps_changes_sampling(self):
+        base = SynthDriveConfig(num_clips=2, frames=4, height=16,
+                                width=16, seed=0)
+        uniform = generate_dataset(base)
+        from dataclasses import replace
+        paced = generate_dataset(replace(base, fps=2.0))
+        assert not np.allclose(uniform.videos, paced.videos)
+
+
+class TestClassBalancedLoss:
+    def make_targets(self, n=50):
+        rng = np.random.default_rng(0)
+        actors = np.zeros((n, 3), dtype=np.float32)
+        actors[:, 0] = 1.0                    # common tag
+        actors[:2, 1] = 1.0                   # rare tag
+        return {
+            "scene": rng.integers(0, 2, n),
+            "ego_action": rng.integers(0, 8, n),
+            "actors": actors,
+            "actor_actions": (rng.random((n, 6)) > 0.8).astype(np.float32),
+        }
+
+    def test_rare_tags_get_higher_weight(self):
+        targets = self.make_targets()
+        loss = MultiTaskLoss.class_balanced(targets)
+        weights = loss.pos_weights["actors"]
+        assert weights[1] > weights[0]
+        assert weights[1] <= 10.0  # capped
+
+    def test_weight_floor_is_one(self):
+        targets = self.make_targets()
+        loss = MultiTaskLoss.class_balanced(targets)
+        assert (loss.pos_weights["actors"] >= 1.0).all()
+
+    def test_invalid_pos_weight_head(self):
+        with pytest.raises(KeyError):
+            MultiTaskLoss(pos_weights={"scene": np.ones(2)})
+
+    def test_balanced_loss_changes_value(self):
+        targets = self.make_targets(n=8)
+        rng = np.random.default_rng(1)
+        logits = {
+            "scene": Tensor(rng.standard_normal((8, 2))),
+            "ego_action": Tensor(rng.standard_normal((8, 8))),
+            "actors": Tensor(rng.standard_normal((8, 3))),
+            "actor_actions": Tensor(rng.standard_normal((8, 6))),
+        }
+        batch = {k: v[:8] for k, v in targets.items()}
+        plain, _ = MultiTaskLoss()(logits, batch)
+        balanced, _ = MultiTaskLoss.class_balanced(targets)(logits, batch)
+        assert plain.item() != pytest.approx(balanced.item())
+
+    def test_balanced_loss_trains(self):
+        """Gradients flow through pos-weighted BCE."""
+        targets = self.make_targets(n=4)
+        logits = {
+            "scene": Tensor(np.zeros((4, 2)), requires_grad=True),
+            "ego_action": Tensor(np.zeros((4, 8)), requires_grad=True),
+            "actors": Tensor(np.zeros((4, 3)), requires_grad=True),
+            "actor_actions": Tensor(np.zeros((4, 6)), requires_grad=True),
+        }
+        batch = {k: v[:4] for k, v in targets.items()}
+        total, _ = MultiTaskLoss.class_balanced(targets)(logits, batch)
+        total.backward()
+        assert logits["actors"].grad is not None

@@ -1,0 +1,58 @@
+"""Tests for Trainer early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.data import SynthDriveConfig, generate_dataset
+from repro.models import ModelConfig, build_model
+from repro.train import TrainConfig, Trainer
+
+CFG = ModelConfig(frames=4, height=16, width=16, dim=16, depth=1,
+                  num_heads=2, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def splits():
+    dataset = generate_dataset(SynthDriveConfig(
+        num_clips=20, frames=4, height=16, width=16, seed=14,
+        families=("free-drive", "stopped-lead"),
+    ))
+    return dataset.split((0.6, 0.2, 0.2), seed=0)
+
+
+class TestEarlyStopping:
+    def test_requires_val_set(self, splits):
+        train, _, _ = splits
+        trainer = Trainer(build_model("frame-mlp", CFG),
+                          TrainConfig(epochs=3, patience=1))
+        with pytest.raises(ValueError):
+            trainer.fit(train)
+
+    def test_stops_before_epoch_budget(self, splits):
+        train, val, _ = splits
+        trainer = Trainer(
+            build_model("frame-mlp", CFG),
+            TrainConfig(epochs=50, batch_size=8, patience=2,
+                        monitor="ego_acc"),
+        )
+        history = trainer.fit(train, val_set=val)
+        assert len(history) < 50
+
+    def test_restores_best_weights(self, splits):
+        train, val, _ = splits
+        trainer = Trainer(
+            build_model("frame-mlp", CFG),
+            TrainConfig(epochs=12, batch_size=8, patience=2,
+                        monitor="ego_acc"),
+        )
+        trainer.fit(train, val_set=val)
+        best = max(r.val_metrics["ego_acc"] for r in trainer.history)
+        final = trainer.evaluate(val)
+        assert final["ego_acc"] == pytest.approx(best, abs=1e-6)
+
+    def test_no_patience_runs_full_budget(self, splits):
+        train, val, _ = splits
+        trainer = Trainer(build_model("frame-mlp", CFG),
+                          TrainConfig(epochs=4, batch_size=8))
+        history = trainer.fit(train, val_set=val)
+        assert len(history) == 4

@@ -1,0 +1,130 @@
+"""Tests for calibration, threshold tuning and confusion analysis."""
+
+import numpy as np
+import pytest
+
+from repro.eval.calibration import (
+    categorical_calibration,
+    expected_calibration_error,
+    reliability_bins,
+    threshold_improvement,
+    tune_thresholds,
+)
+from repro.eval.confusion import (
+    confusion_matrix,
+    ego_confusion,
+    format_confusion,
+    per_family_report,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestReliability:
+    def test_bins_partition_samples(self):
+        conf = RNG.random(200)
+        correct = RNG.random(200) > 0.5
+        bins = reliability_bins(conf, correct, n_bins=10)
+        assert sum(b["count"] for b in bins) == 200
+
+    def test_perfectly_calibrated_low_ece(self):
+        conf = RNG.random(20_000)
+        correct = RNG.random(20_000) < conf  # accuracy == confidence
+        assert expected_calibration_error(conf, correct) < 0.03
+
+    def test_overconfident_high_ece(self):
+        conf = np.full(1000, 0.99)
+        correct = RNG.random(1000) < 0.5
+        assert expected_calibration_error(conf, correct) > 0.4
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            reliability_bins(np.zeros(3), np.zeros(4, dtype=bool))
+
+    def test_empty_input(self):
+        assert expected_calibration_error(np.zeros(0), np.zeros(0, bool)) \
+            == 0.0
+
+    def test_categorical_calibration_fields(self):
+        logits = RNG.standard_normal((50, 4))
+        targets = RNG.integers(0, 4, 50)
+        stats = categorical_calibration(logits, targets)
+        assert 0.0 <= stats["ece"] <= 1.0
+        assert 0.25 <= stats["mean_confidence"] <= 1.0
+
+
+class TestThresholdTuning:
+    def test_finds_low_threshold_for_shy_scores(self):
+        """Positives scored ~0.3, negatives ~0.1: the optimal threshold
+        is well below the 0.5 default."""
+        n = 200
+        targets = np.zeros((n, 1))
+        targets[:50, 0] = 1.0
+        probs = np.where(targets == 1.0,
+                         0.25 + 0.1 * RNG.random((n, 1)),
+                         0.05 + 0.1 * RNG.random((n, 1)))
+        thresholds = tune_thresholds(probs, targets)
+        assert thresholds[0] < 0.3
+
+    def test_tuned_never_worse_on_same_split(self):
+        probs = RNG.random((100, 4))
+        targets = (RNG.random((100, 4)) > 0.7).astype(float)
+        from repro.train.metrics import multilabel_prf
+
+        tuned = tune_thresholds(probs, targets)
+        default = multilabel_prf(probs, targets, 0.5)["macro_f1"]
+        best = multilabel_prf(probs, targets, tuned)["macro_f1"]
+        assert best >= default - 1e-9
+
+    def test_threshold_improvement_reports_gain(self):
+        probs = RNG.random((80, 3))
+        targets = (probs > 0.3).astype(float)  # ideal threshold 0.3
+        stats = threshold_improvement(probs[:40], targets[:40],
+                                      probs[40:], targets[40:])
+        assert stats["tuned_macro_f1"] >= stats["default_macro_f1"]
+        assert stats["gain"] == pytest.approx(
+            stats["tuned_macro_f1"] - stats["default_macro_f1"]
+        )
+
+
+class TestConfusion:
+    def test_matrix_counts(self):
+        preds = np.array([0, 1, 1, 2])
+        targets = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(preds, targets, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_matrix_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(2), np.zeros(3), 2)
+
+    def test_format_contains_labels(self):
+        matrix = np.eye(2, dtype=int)
+        text = format_confusion(matrix, ["stop", "go"])
+        assert "stop" in text and "go" in text
+
+    def test_trained_model_reports(self):
+        from repro.data import SynthDriveConfig, generate_dataset
+        from repro.models import ModelConfig, build_model
+        from repro.train import TrainConfig, Trainer
+
+        dataset = generate_dataset(SynthDriveConfig(
+            num_clips=16, frames=4, height=16, width=16, seed=6,
+            families=("free-drive", "stopped-lead"),
+        ))
+        model = build_model("frame-mlp", ModelConfig(
+            frames=4, height=16, width=16, dim=16, depth=1, num_heads=2,
+        ))
+        trainer = Trainer(model, TrainConfig(epochs=4, batch_size=8))
+        trainer.fit(dataset)
+
+        matrix = ego_confusion(trainer, dataset)
+        assert matrix.sum() == len(dataset)
+        report = per_family_report(trainer, dataset)
+        assert set(report) == {"free-drive", "stopped-lead"}
+        for stats in report.values():
+            assert stats["count"] == 8
+            assert 0.0 <= stats["ego_acc"] <= 1.0

@@ -1,0 +1,166 @@
+"""Tests for clip models: shapes, gradients, factory, temporal sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models import (
+    MODEL_REGISTRY,
+    ModelConfig,
+    VideoTransformer,
+    build_model,
+)
+from repro.sdl import LabelCodec
+
+SMALL = ModelConfig(frames=4, height=16, width=16, dim=16, depth=1,
+                    num_heads=2, patch_size=8, tubelet_size=2, dropout=0.0)
+
+
+def video(batch=2, cfg=SMALL, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.random(
+        (batch, cfg.frames, cfg.channels, cfg.height, cfg.width)
+    ).astype(np.float32))
+
+
+HEAD_SHAPES = {"scene": 2, "ego_action": 8, "actors": 3, "actor_actions": 6}
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_logit_shapes(self, name):
+        model = build_model(name, SMALL)
+        out = model(video())
+        for head, size in HEAD_SHAPES.items():
+            assert out[head].shape == (2, size), head
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_feature_shape(self, name):
+        model = build_model(name, SMALL)
+        assert model.feature(video()).shape == (2, SMALL.dim)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_rejects_wrong_rank(self, name):
+        model = build_model(name, SMALL)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((2, 3, 16, 16), dtype=np.float32)))
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("vt-quantum")
+
+    def test_invalid_attention_mode(self):
+        with pytest.raises(ValueError):
+            VideoTransformer(SMALL, attention="diagonal")
+
+
+class TestGradients:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_all_params_receive_grad(self, name):
+        model = build_model(name, SMALL)
+        out = model(video())
+        loss = None
+        for v in out.values():
+            term = (v * v).mean()
+            loss = term if loss is None else loss + term
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"{name} params without grad: {missing}"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_same_seed_same_output(self, name):
+        a = build_model(name, SMALL)
+        b = build_model(name, SMALL)
+        a.eval(), b.eval()
+        x = video()
+        np.testing.assert_allclose(a(x)["scene"].data, b(x)["scene"].data,
+                                   rtol=1e-5)
+
+    def test_different_seed_different_params(self):
+        a = build_model("vt-divided", SMALL)
+        b = build_model("vt-divided",
+                        ModelConfig(**{**SMALL.__dict__, "seed": 1}))
+        pa = dict(a.named_parameters())
+        pb = dict(b.named_parameters())
+        diffs = [not np.allclose(pa[k].data, pb[k].data) for k in pa]
+        assert any(diffs)
+
+
+class TestTemporalSensitivity:
+    """Video transformers must distinguish frame order; the per-frame
+    baseline must not."""
+
+    def reversed_video_pair(self):
+        x = video(batch=1)
+        rev = Tensor(x.data[:, ::-1].copy())
+        return x, rev
+
+    @pytest.mark.parametrize("name", ["vt-joint", "vt-divided",
+                                      "vt-factorized", "c3d"])
+    def test_temporal_models_order_sensitive(self, name):
+        model = build_model(name, SMALL)
+        model.eval()
+        x, rev = self.reversed_video_pair()
+        out_fwd = model(x)["ego_action"].data
+        out_rev = model(rev)["ego_action"].data
+        assert not np.allclose(out_fwd, out_rev, atol=1e-5)
+
+    def test_per_frame_vit_order_invariant(self):
+        model = build_model("frame-vit", SMALL)
+        model.eval()
+        x, rev = self.reversed_video_pair()
+        np.testing.assert_allclose(model(x)["ego_action"].data,
+                                   model(rev)["ego_action"].data,
+                                   atol=1e-4)
+
+    def test_frame_mlp_motion_feature_order_invariant(self):
+        """|frame differences| are symmetric under reversal."""
+        model = build_model("frame-mlp", SMALL)
+        model.eval()
+        x, rev = self.reversed_video_pair()
+        np.testing.assert_allclose(model(x)["ego_action"].data,
+                                   model(rev)["ego_action"].data,
+                                   atol=1e-4)
+
+
+class TestConfig:
+    def test_invalid_patch_divisibility(self):
+        with pytest.raises(ValueError):
+            ModelConfig(height=30, patch_size=8)
+
+    def test_invalid_head_divisibility(self):
+        with pytest.raises(ValueError):
+            ModelConfig(dim=30, num_heads=4)
+
+    def test_joint_requires_tubelet_divisibility(self):
+        cfg = ModelConfig(frames=5, tubelet_size=2)
+        with pytest.raises(ValueError):
+            VideoTransformer(cfg, attention="joint")
+
+    def test_patches_per_frame(self):
+        assert ModelConfig(height=32, width=32,
+                           patch_size=8).patches_per_frame == 16
+
+
+class TestSerialization:
+    def test_state_roundtrip_preserves_output(self, tmp_path):
+        model = build_model("vt-divided", SMALL)
+        model.eval()
+        x = video()
+        expected = model(x)["ego_action"].data.copy()
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+        fresh = build_model(
+            "vt-divided", ModelConfig(**{**SMALL.__dict__, "seed": 99})
+        )
+        fresh.load(path)
+        fresh.eval()
+        np.testing.assert_allclose(fresh(x)["ego_action"].data, expected,
+                                   rtol=1e-5)
+
+    def test_custom_codec_respected(self):
+        codec = LabelCodec()
+        model = build_model("frame-mlp", SMALL, codec=codec)
+        assert model.head.codec is codec

@@ -1,0 +1,92 @@
+"""Deeper attention / encoder behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+
+RNG = np.random.default_rng(21)
+
+
+def rand(*shape, scale=1.0, grad=False):
+    return Tensor(RNG.standard_normal(shape) * scale, requires_grad=grad)
+
+
+class TestMaskedEncoder:
+    def test_encoder_accepts_mask(self):
+        enc = nn.TransformerEncoder(8, depth=2, num_heads=2,
+                                    rng=np.random.default_rng(0))
+        x = rand(2, 5, 8)
+        mask = np.tril(np.ones((5, 5), dtype=bool))
+        out = enc(x, mask=mask)
+        assert out.shape == (2, 5, 8)
+
+    def test_causal_mask_blocks_future(self):
+        """With a causal mask, output at position 0 is independent of
+        later tokens."""
+        enc = nn.TransformerEncoder(8, depth=1, num_heads=2, dropout=0.0,
+                                    rng=np.random.default_rng(1))
+        enc.eval()
+        mask = np.tril(np.ones((4, 4), dtype=bool))
+        x = rand(1, 4, 8)
+        base = enc(x, mask=mask).data[0, 0].copy()
+        x2 = Tensor(x.data.copy())
+        x2.data[0, 3] += 5.0
+        out2 = enc(x2, mask=mask).data[0, 0]
+        np.testing.assert_allclose(base, out2, atol=1e-4)
+
+    def test_full_mask_equals_no_mask(self):
+        enc = nn.TransformerEncoder(8, depth=1, num_heads=2, dropout=0.0,
+                                    rng=np.random.default_rng(2))
+        enc.eval()
+        x = rand(2, 4, 8)
+        full = np.ones((4, 4), dtype=bool)
+        np.testing.assert_allclose(enc(x, mask=full).data,
+                                   enc(x).data, atol=1e-5)
+
+    def test_masked_attention_grad(self):
+        attn = nn.MultiHeadAttention(8, 2, rng=np.random.default_rng(3))
+        x = rand(1, 3, 8, scale=0.5, grad=True)
+        mask = np.tril(np.ones((3, 3), dtype=bool))
+        gradcheck(lambda a: attn(a, mask=mask).sum(), [x],
+                  atol=3e-2, rtol=8e-2)
+
+
+class TestDividedBlockInternals:
+    def test_temporal_sublayer_isolates_patches(self):
+        """After only the temporal sublayer, patch p's tokens depend
+        only on patch p across frames (verified through the block by
+        zeroing the spatial path)."""
+        from repro.models.video_transformer import DividedSTBlock
+
+        block = DividedSTBlock(8, 2, mlp_ratio=1.0, dropout=0.0,
+                               rng=np.random.default_rng(4))
+        # Disable spatial attention and MLP contributions.
+        block.attn_s.proj.weight.data[...] = 0.0
+        block.attn_s.proj.bias.data[...] = 0.0
+        block.mlp.fc2.weight.data[...] = 0.0
+        block.mlp.fc2.bias.data[...] = 0.0
+        block.eval()
+
+        x = rand(1, 3, 4, 8)
+        base = block(x).data.copy()
+        x2 = Tensor(x.data.copy())
+        # Perturb one dim of patch 2 in frame 1 (a constant shift across
+        # all dims would be removed exactly by the pre-LN).
+        x2.data[0, 1, 2, 0] += 5.0
+        out2 = block(x2).data
+        # Other patches are unchanged in every frame.
+        for p in (0, 1, 3):
+            np.testing.assert_allclose(out2[0, :, p], base[0, :, p],
+                                       atol=1e-4)
+        # Patch 2 changes in other frames too (temporal mixing).
+        assert not np.allclose(out2[0, 0, 2], base[0, 0, 2], atol=1e-4)
+
+    def test_block_preserves_shape(self):
+        from repro.models.video_transformer import DividedSTBlock
+
+        block = DividedSTBlock(8, 2, mlp_ratio=2.0, dropout=0.0,
+                               rng=np.random.default_rng(5))
+        x = rand(2, 4, 6, 8)
+        assert block(x).shape == (2, 4, 6, 8)

@@ -1,0 +1,162 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+
+def quadratic_param(start=5.0):
+    return nn.Parameter(np.array([start], dtype=np.float32))
+
+
+def run_steps(opt, p, n=200):
+    for _ in range(n):
+        opt.zero_grad()
+        ((p - 2.0) ** 2).sum().backward()
+        opt.step()
+    return float(p.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert run_steps(optim.SGD([p], lr=0.1), p) == pytest.approx(2.0, abs=1e-3)
+
+    def test_momentum_converges(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=0.05, momentum=0.9)
+        assert run_steps(opt, p) == pytest.approx(2.0, abs=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        p = quadratic_param(1.0)
+        opt = optim.SGD([p], lr=0.1, weight_decay=10.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()  # zero loss grad; decay only
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_skips_params_without_grad(self):
+        p, q = quadratic_param(), quadratic_param()
+        opt = optim.SGD([p, q], lr=0.1)
+        opt.zero_grad()
+        ((p - 2.0) ** 2).sum().backward()
+        before = q.data.copy()
+        opt.step()
+        np.testing.assert_array_equal(q.data, before)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            optim.SGD([quadratic_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert run_steps(optim.Adam([p], lr=0.1), p, n=400) == pytest.approx(
+            2.0, abs=1e-2
+        )
+
+    def test_bias_correction_first_step_magnitude(self):
+        """First Adam step should be ≈ lr in the gradient direction."""
+        p = quadratic_param(5.0)
+        opt = optim.Adam([p], lr=0.1)
+        opt.zero_grad()
+        ((p - 2.0) ** 2).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(5.0 - 0.1, abs=1e-3)
+
+    def test_adamw_decay_decoupled(self):
+        """AdamW decays weights even when the gradient is zero."""
+        p = quadratic_param(1.0)
+        opt = optim.AdamW([p], lr=0.1, weight_decay=0.5)
+        for _ in range(10):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()
+            opt.step()
+        assert 0.0 < p.data[0] < 1.0
+
+    def test_adam_trains_small_classifier(self):
+        """Sanity end-to-end: a tiny MLP fits a linearly separable task."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 2)).astype(np.float32)
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        net = nn.Sequential(nn.Linear(2, 16, rng=rng), nn.Tanh(),
+                            nn.Linear(16, 2, rng=rng))
+        opt = optim.Adam(net.parameters(), lr=0.05)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = F.cross_entropy(net(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        preds = net(Tensor(x)).data.argmax(axis=1)
+        assert (preds == y).mean() > 0.95
+
+
+class TestClip:
+    def test_clip_reduces_norm(self):
+        p = nn.Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        pre = optim.clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_clip_noop_below_threshold(self):
+        p = nn.Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 0.1, dtype=np.float32)
+        optim.clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+
+class TestSchedules:
+    def make(self):
+        return optim.SGD([quadratic_param()], lr=1.0)
+
+    def test_constant(self):
+        sched = optim.ConstantLR(self.make())
+        assert sched.step() == 1.0
+
+    def test_step_lr_decays(self):
+        opt = self.make()
+        sched = optim.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_warmup_ramps_linearly(self):
+        opt = self.make()
+        sched = optim.CosineWithWarmup(opt, warmup_steps=10, total_steps=100)
+        lrs = [sched.step() for _ in range(10)]
+        np.testing.assert_allclose(lrs, np.arange(1, 11) / 10.0, rtol=1e-6)
+
+    def test_cosine_reaches_min(self):
+        opt = self.make()
+        sched = optim.CosineWithWarmup(opt, warmup_steps=1, total_steps=50,
+                                       min_lr=0.01)
+        lr = 1.0
+        for _ in range(60):
+            lr = sched.step()
+        assert lr == pytest.approx(0.01, abs=1e-6)
+
+    def test_cosine_monotone_after_warmup(self):
+        opt = self.make()
+        sched = optim.CosineWithWarmup(opt, warmup_steps=5, total_steps=50)
+        lrs = [sched.step() for _ in range(50)]
+        after = lrs[5:]
+        assert all(a >= b - 1e-9 for a, b in zip(after, after[1:]))
+
+    def test_invalid_total_steps(self):
+        with pytest.raises(ValueError):
+            optim.CosineWithWarmup(self.make(), warmup_steps=10, total_steps=5)
+
+    def test_scheduler_sets_optimizer_lr(self):
+        opt = self.make()
+        sched = optim.StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == 0.5

@@ -1,0 +1,214 @@
+"""Tests for the SDL vocabulary, descriptions, codec and similarity."""
+
+import numpy as np
+import pytest
+
+from repro.sdl import (
+    ACTOR_ACTIONS,
+    ACTOR_TYPES,
+    EGO_ACTIONS,
+    SCENES,
+    LabelCodec,
+    ScenarioDescription,
+    Vocabulary,
+    sdl_similarity,
+    sdl_vector,
+)
+from repro.sdl.similarity import tag_jaccard
+
+
+def desc(scene="straight-road", ego="drive-straight", actors=(),
+         actions=()):
+    return ScenarioDescription(scene=scene, ego_action=ego,
+                               actors=frozenset(actors),
+                               actor_actions=frozenset(actions))
+
+
+class TestVocabulary:
+    def test_tag_sets_disjoint(self):
+        groups = [SCENES, ACTOR_TYPES, EGO_ACTIONS, ACTOR_ACTIONS]
+        all_tags = [t for g in groups for t in g]
+        assert len(all_tags) == len(set(all_tags))
+
+    def test_total_tags(self):
+        v = Vocabulary()
+        assert v.total_tags == len(SCENES) + len(ACTOR_TYPES) \
+            + len(EGO_ACTIONS) + len(ACTOR_ACTIONS)
+
+    def test_mirror_pairs(self):
+        v = Vocabulary()
+        assert v.mirrored_ego_action("turn-left") == "turn-right"
+        assert v.mirrored_ego_action("lane-change-right") == "lane-change-left"
+        assert v.mirrored_ego_action("stop") == "stop"
+
+    def test_mirror_involution(self):
+        v = Vocabulary()
+        for action in EGO_ACTIONS:
+            assert v.mirrored_ego_action(v.mirrored_ego_action(action)) \
+                == action
+
+
+class TestDescription:
+    def test_rejects_unknown_scene(self):
+        with pytest.raises(ValueError):
+            desc(scene="moon-base")
+
+    def test_rejects_unknown_ego_action(self):
+        with pytest.raises(ValueError):
+            desc(ego="moonwalk")
+
+    def test_rejects_unknown_actor(self):
+        with pytest.raises(ValueError):
+            desc(actors={"unicorn"})
+
+    def test_rejects_unknown_actor_action(self):
+        with pytest.raises(ValueError):
+            desc(actions={"levitating"})
+
+    def test_json_roundtrip(self):
+        d = desc(scene="intersection", ego="turn-left",
+                 actors={"car", "traffic-light"}, actions={"oncoming"})
+        assert ScenarioDescription.from_json(d.to_json()) == d
+
+    def test_dict_roundtrip(self):
+        d = desc(actions={"leading", "braking"}, actors={"car"})
+        assert ScenarioDescription.from_dict(d.to_dict()) == d
+
+    def test_frozen_and_hashable(self):
+        d = desc()
+        assert d in {d}
+        with pytest.raises(Exception):
+            d.scene = "intersection"
+
+    def test_sentence_mentions_scene_and_action(self):
+        d = desc(scene="intersection", ego="turn-left")
+        s = d.to_sentence()
+        assert "intersection" in s
+        assert "turns left" in s
+
+    def test_sentence_mentions_actor_actions(self):
+        d = desc(actors={"pedestrian"}, actions={"crossing"})
+        assert "pedestrian crosses" in d.to_sentence()
+
+    def test_sentence_lists_residual_actors(self):
+        d = desc(actors={"traffic-light"})
+        assert "traffic-light" in d.to_sentence()
+
+    def test_mirrored_swaps_direction(self):
+        d = desc(ego="lane-change-left")
+        assert d.mirrored().ego_action == "lane-change-right"
+        assert d.mirrored().mirrored() == d
+
+    def test_all_tags(self):
+        d = desc(scene="intersection", ego="stop", actors={"car"},
+                 actions={"leading"})
+        assert d.all_tags() == {"intersection", "stop", "car", "leading"}
+
+
+class TestCodec:
+    def setup_method(self):
+        self.codec = LabelCodec()
+
+    def test_head_sizes(self):
+        sizes = self.codec.head_sizes
+        assert sizes["scene"] == len(SCENES)
+        assert sizes["ego_action"] == len(EGO_ACTIONS)
+        assert sizes["actors"] == len(ACTOR_TYPES)
+        assert sizes["actor_actions"] == len(ACTOR_ACTIONS)
+
+    def test_encode_shapes_and_types(self):
+        e = self.codec.encode(desc(actors={"car"}, actions={"leading"}))
+        assert e["scene"].dtype == np.int64
+        assert e["actors"].shape == (len(ACTOR_TYPES),)
+        assert e["actors"].sum() == 1.0
+
+    def test_encode_decode_roundtrip(self):
+        d = desc(scene="intersection", ego="turn-right",
+                 actors={"car", "pedestrian"}, actions={"crossing"})
+        e = self.codec.encode(d)
+        logits = {
+            "scene": _one_hot_logits(e["scene"], len(SCENES)),
+            "ego_action": _one_hot_logits(e["ego_action"], len(EGO_ACTIONS)),
+            "actors": (e["actors"] * 2 - 1) * 10.0,
+            "actor_actions": (e["actor_actions"] * 2 - 1) * 10.0,
+        }
+        assert self.codec.decode(logits) == d
+
+    def test_encode_batch_shapes(self):
+        descs = [desc(), desc(ego="stop", actors={"car"})]
+        batch = self.codec.encode_batch(descs)
+        assert batch["scene"].shape == (2,)
+        assert batch["actors"].shape == (2, len(ACTOR_TYPES))
+
+    def test_decode_batch_length(self):
+        batch = {
+            "scene": np.zeros((3, len(SCENES))),
+            "ego_action": np.zeros((3, len(EGO_ACTIONS))),
+            "actors": np.full((3, len(ACTOR_TYPES)), -5.0),
+            "actor_actions": np.full((3, len(ACTOR_ACTIONS)), -5.0),
+        }
+        out = self.codec.decode_batch(batch)
+        assert len(out) == 3
+        assert out[0].actors == frozenset()
+
+    def test_decode_threshold(self):
+        logits = {
+            "scene": np.array([1.0, 0.0]),
+            "ego_action": np.zeros(len(EGO_ACTIONS)),
+            "actors": np.array([0.1, -5.0, -5.0]),  # sigmoid(0.1) ~ 0.52
+            "actor_actions": np.full(len(ACTOR_ACTIONS), -5.0),
+        }
+        low = self.codec.decode(logits, threshold=0.5)
+        high = self.codec.decode(logits, threshold=0.9)
+        assert "car" in low.actors
+        assert "car" not in high.actors
+
+    def test_mirror_targets_consistent_with_description(self):
+        d = desc(ego="lane-change-left")
+        batch = self.codec.encode_batch([d])
+        mirrored = self.codec.mirror_targets(batch)
+        expected = self.codec.encode(d.mirrored())
+        assert mirrored["ego_action"][0] == expected["ego_action"]
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        d = desc(actors={"car"}, actions={"leading"})
+        assert sdl_similarity(d, d) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a = desc(ego="stop", actors={"car"})
+        b = desc(ego="turn-left", scene="intersection")
+        assert sdl_similarity(a, b) == pytest.approx(sdl_similarity(b, a))
+
+    def test_close_beats_far(self):
+        query = desc(ego="stop", actors={"pedestrian"},
+                     actions={"crossing"})
+        close = desc(ego="stop", actors={"pedestrian"}, actions={"crossing"})
+        far = desc(scene="intersection", ego="turn-left", actors={"car"})
+        assert sdl_similarity(query, close) > sdl_similarity(query, far)
+
+    def test_vector_length_fixed(self):
+        a = sdl_vector(desc())
+        b = sdl_vector(desc(scene="intersection", ego="turn-left",
+                            actors={"car", "pedestrian", "traffic-light"},
+                            actions=set(ACTOR_ACTIONS)))
+        assert a.shape == b.shape
+
+    def test_ego_action_weighted_higher_than_scene(self):
+        base = desc(scene="straight-road", ego="stop")
+        scene_diff = desc(scene="intersection", ego="stop")
+        ego_diff = desc(scene="straight-road", ego="drive-straight")
+        assert sdl_similarity(base, scene_diff) > sdl_similarity(base, ego_diff)
+
+    def test_jaccard_bounds(self):
+        a = desc(actors={"car"})
+        b = desc(scene="intersection", ego="turn-left")
+        assert 0.0 <= tag_jaccard(a, b) <= 1.0
+        assert tag_jaccard(a, a) == 1.0
+
+
+def _one_hot_logits(index, size):
+    logits = np.full(size, -10.0, dtype=np.float32)
+    logits[int(index)] = 10.0
+    return logits

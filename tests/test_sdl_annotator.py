@@ -1,0 +1,97 @@
+"""Tests pinning the annotator's labels for every scenario family."""
+
+import numpy as np
+import pytest
+
+from repro.sdl import AnnotatorConfig, annotate
+from repro.sim import simulate_scenario
+
+# Expected labels per family (checked across several seeds).  Values are
+# (scene, allowed ego actions, required actors, required actor actions).
+EXPECTATIONS = {
+    "free-drive": ("straight-road", {"drive-straight"}, set(), set()),
+    "lead-follow": ("straight-road", {"drive-straight", "decelerate"},
+                    {"car"}, {"leading"}),
+    "lead-brake": ("straight-road", {"decelerate", "stop"},
+                   {"car"}, {"leading", "braking"}),
+    "cut-in": ("straight-road", {"decelerate", "drive-straight", "stop"},
+               {"car"}, {"cutting-in"}),
+    "lane-change-left": ("straight-road", {"lane-change-left"},
+                         {"car"}, set()),
+    "lane-change-right": ("straight-road", {"lane-change-right"},
+                          {"car"}, set()),
+    "pedestrian-crossing": ("straight-road", {"stop", "decelerate"},
+                            {"pedestrian"}, {"crossing"}),
+    "oncoming": ("straight-road", {"drive-straight"}, {"car"},
+                 {"oncoming"}),
+    "red-light-stop": ("intersection", {"stop", "decelerate"},
+                       {"traffic-light"}, set()),
+    "turn-left": ("intersection", {"turn-left"}, set(), set()),
+    "turn-right": ("intersection", {"turn-right"}, set(), set()),
+    "stopped-lead": ("straight-road", {"stop", "decelerate"},
+                     {"car"}, {"stopped"}),
+    "overtake": ("straight-road", {"lane-change-left"}, {"car"}, set()),
+    "green-light-pass": ("intersection", {"drive-straight", "accelerate"},
+                         {"traffic-light"}, set()),
+}
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTATIONS))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_family_annotation(family, seed):
+    scene, ego_allowed, actors_req, actions_req = EXPECTATIONS[family]
+    desc = annotate(simulate_scenario(family, seed=seed).snapshots)
+    assert desc.scene == scene
+    assert desc.ego_action in ego_allowed, (
+        f"{family} seed {seed}: ego={desc.ego_action}"
+    )
+    assert actors_req <= desc.actors, (
+        f"{family} seed {seed}: actors={sorted(desc.actors)}"
+    )
+    assert actions_req <= desc.actor_actions, (
+        f"{family} seed {seed}: actions={sorted(desc.actor_actions)}"
+    )
+
+
+class TestAnnotatorEdgeCases:
+    def test_empty_snapshots_raise(self):
+        with pytest.raises(ValueError):
+            annotate([])
+
+    def test_no_false_braking_for_stopped_lead(self):
+        """A standing queue tail is 'stopped', not 'braking'."""
+        desc = annotate(simulate_scenario("stopped-lead", seed=0).snapshots)
+        assert "braking" not in desc.actor_actions
+
+    def test_no_false_cut_in_for_ego_lane_change(self):
+        """The ego passing a slow car is not that car cutting in."""
+        for seed in range(3):
+            rec = simulate_scenario("lane-change-left", seed=seed)
+            desc = annotate(rec.snapshots)
+            assert "cutting-in" not in desc.actor_actions
+
+    def test_no_oncoming_in_lead_follow(self):
+        desc = annotate(simulate_scenario("lead-follow", seed=0).snapshots)
+        assert "oncoming" not in desc.actor_actions
+
+    def test_no_pedestrian_tag_without_pedestrian(self):
+        desc = annotate(simulate_scenario("lead-brake", seed=0).snapshots)
+        assert "pedestrian" not in desc.actors
+        assert "crossing" not in desc.actor_actions
+
+    def test_custom_config_changes_thresholds(self):
+        """An absurdly strict turn threshold suppresses the turn label."""
+        rec = simulate_scenario("turn-left", seed=0)
+        strict = AnnotatorConfig(turn_threshold=10.0)
+        desc = annotate(rec.snapshots, strict)
+        assert desc.ego_action != "turn-left"
+
+    def test_annotation_deterministic(self):
+        rec = simulate_scenario("cut-in", seed=7)
+        assert annotate(rec.snapshots) == annotate(rec.snapshots)
+
+    def test_partial_window_annotation(self):
+        """Annotating a sub-window works (used by sliding extraction)."""
+        rec = simulate_scenario("lead-follow", seed=0)
+        desc = annotate(rec.snapshots[:40])
+        assert desc.scene == "straight-road"

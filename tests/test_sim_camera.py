@@ -1,0 +1,178 @@
+"""Tests for the perspective (dashcam-style) renderer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import simulate_scenario
+from repro.sim.camera import (
+    CameraConfig,
+    PerspectiveRenderer,
+    _convex_hull,
+    _fill_polygon,
+)
+from repro.sim.render import (
+    PEDESTRIAN_CHANNEL,
+    ROAD_CHANNEL,
+    VEHICLE_CHANNEL,
+)
+
+
+@pytest.fixture(scope="module")
+def lead_scene():
+    rec = simulate_scenario("lead-follow", seed=0)
+    return rec, PerspectiveRenderer(road=rec.road)
+
+
+class TestGeometryHelpers:
+    def test_convex_hull_square(self):
+        points = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]])
+        hull = _convex_hull(points)
+        assert len(hull) == 4
+        assert [0.5, 0.5] not in hull.tolist()
+
+    def test_convex_hull_degenerate(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert len(_convex_hull(points)) == 2
+
+    def test_fill_polygon_square(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        _fill_polygon(mask, np.array([[2.0, 2.0], [7.0, 2.0],
+                                      [7.0, 7.0], [2.0, 7.0]]))
+        assert mask[4, 4]
+        assert not mask[0, 0]
+        assert mask.sum() == 25
+
+    def test_fill_polygon_triangle(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        _fill_polygon(mask, np.array([[0.0, 0.0], [9.0, 0.0], [0.0, 9.0]]))
+        assert mask[1, 1]
+        assert not mask[8, 8]
+
+    def test_fill_polygon_outside_image(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        _fill_polygon(mask, np.array([[10.0, 10.0], [12.0, 10.0],
+                                      [11.0, 12.0]]))
+        assert not mask.any()
+
+
+class TestPerspectiveRender:
+    def test_frame_shape_and_range(self, lead_scene):
+        rec, renderer = lead_scene
+        frame = renderer.render(rec.snapshots[0])
+        assert frame.shape == (3, 32, 32)
+        assert 0.0 <= frame.min() and frame.max() <= 1.0
+
+    def test_sky_above_horizon_empty(self, lead_scene):
+        rec, renderer = lead_scene
+        frame = renderer.render(rec.snapshots[0])
+        horizon = int(renderer.config.resolved_horizon())
+        assert frame[ROAD_CHANNEL][: horizon - 2].sum() == 0.0
+
+    def test_road_below_horizon(self, lead_scene):
+        rec, renderer = lead_scene
+        frame = renderer.render(rec.snapshots[0])
+        assert (frame[ROAD_CHANNEL][20:29] > 0).any()
+
+    def test_lead_vehicle_visible(self, lead_scene):
+        rec, renderer = lead_scene
+        frame = renderer.render(rec.snapshots[0])
+        assert (frame[VEHICLE_CHANNEL] > 0.5).any()
+
+    def test_perspective_size_scales_with_distance(self):
+        """A vehicle farther ahead covers fewer pixels."""
+        rec = simulate_scenario("lead-follow", seed=0)
+        renderer = PerspectiveRenderer(road=rec.road)
+
+        def vehicle_pixels(snap):
+            return (renderer.render(snap)[VEHICLE_CHANNEL] > 0.5).sum()
+
+        # Find two snapshots with different ego→lead gaps.
+        gaps = []
+        for snap in rec.snapshots[::10]:
+            ego = next(a for a in snap.agents.values() if a.is_ego)
+            lead = snap.agents["lead"]
+            gaps.append((lead.s - ego.s, vehicle_pixels(snap)))
+        gaps.sort()
+        # Strictly smaller gap → at least as many pixels (allow ties).
+        assert gaps[0][1] >= gaps[-1][1]
+
+    def test_behind_camera_not_drawn(self):
+        rec = simulate_scenario("oncoming", seed=0)
+        renderer = PerspectiveRenderer(road=rec.road)
+        # At the end the oncoming car has passed the ego (behind it).
+        last = rec.snapshots[-1]
+        ego = next(a for a in last.agents.values() if a.is_ego)
+        oncoming = last.agents["oncoming"]
+        assert oncoming.x < ego.x
+        frame = renderer.render(last)
+        assert not (frame[VEHICLE_CHANNEL] > 0.5).any()
+
+    def test_pedestrian_in_channel_1(self):
+        rec = simulate_scenario("pedestrian-crossing", seed=1)
+        renderer = PerspectiveRenderer(road=rec.road)
+        seen = any((renderer.render(s)[PEDESTRIAN_CHANNEL] == 1.0).any()
+                   for s in rec.snapshots[::5])
+        assert seen
+
+    def test_stop_line_on_ground(self):
+        rec = simulate_scenario("red-light-stop", seed=1, duration=10.0)
+        renderer = PerspectiveRenderer(road=rec.road)
+        # While stopped at the line the red stop line must be visible.
+        hit = False
+        for snap in rec.snapshots:
+            if snap.light_state != "red":
+                continue
+            frame = renderer.render(snap)
+            if (frame[PEDESTRIAN_CHANNEL] == 1.0).any():
+                hit = True
+                break
+        assert hit
+
+    def test_hood_rows_drawn(self, lead_scene):
+        rec, renderer = lead_scene
+        frame = renderer.render(rec.snapshots[0])
+        assert (frame[ROAD_CHANNEL][-2:] == 1.0).all()
+
+    def test_no_ego_raises(self, lead_scene):
+        rec, renderer = lead_scene
+        snap = rec.snapshots[0]
+        agents = {k: v for k, v in snap.agents.items() if not v.is_ego}
+        bad = type(snap)(t=snap.t, agents=agents, scene=snap.scene)
+        with pytest.raises(LookupError):
+            renderer.render(bad)
+
+    def test_render_clip(self, lead_scene):
+        rec, renderer = lead_scene
+        clip = renderer.render_clip(rec.snapshots, sample_every=10)
+        assert clip.shape == (8, 3, 32, 32)
+
+
+class TestCameraDataset:
+    def test_generate_camera_view(self):
+        from repro.data import SynthDriveConfig, generate_dataset
+
+        dataset = generate_dataset(SynthDriveConfig(
+            num_clips=4, frames=4, height=16, width=16, seed=0,
+            view="camera",
+        ))
+        assert dataset.videos.shape == (4, 4, 3, 16, 16)
+
+    def test_views_differ(self):
+        from repro.data import SynthDriveConfig, generate_dataset
+
+        bev = generate_dataset(SynthDriveConfig(
+            num_clips=2, frames=4, height=16, width=16, seed=0,
+        ))
+        cam = generate_dataset(SynthDriveConfig(
+            num_clips=2, frames=4, height=16, width=16, seed=0,
+            view="camera",
+        ))
+        assert not np.allclose(bev.videos, cam.videos)
+        # Labels are view-independent.
+        assert bev.descriptions == cam.descriptions
+
+    def test_invalid_view_rejected(self):
+        from repro.data import SynthDriveConfig
+
+        with pytest.raises(ValueError):
+            SynthDriveConfig(view="lidar")

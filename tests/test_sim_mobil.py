@@ -1,0 +1,135 @@
+"""Tests for the MOBIL autonomous lane-change model."""
+
+import numpy as np
+import pytest
+
+from repro.sim import IDMParams, Vehicle, World, WorldConfig, straight_path
+from repro.sim.mobil import MOBILParams, mobil_decision
+
+LANE = 3.5
+
+
+def make_world():
+    return World(WorldConfig(lane_width=LANE))
+
+
+def add_car(world, name, s, speed, lane=0, desired=None, ego=False):
+    path = straight_path((0, 0), 0.0, 1000.0)
+    v = Vehicle(name, path, s=s, speed=speed, lane_offset=lane * LANE,
+                idm=IDMParams(desired_speed=desired or speed), is_ego=ego)
+    return world.add_vehicle(v)
+
+
+class TestDecision:
+    def test_no_change_on_free_road(self):
+        world = make_world()
+        ego = add_car(world, "ego", 0, 12, desired=12)
+        decision = mobil_decision(world, ego, MOBILParams(), (0, 1))
+        assert decision is None
+
+    def test_changes_for_slow_leader(self):
+        world = make_world()
+        ego = add_car(world, "ego", 0, 12, desired=15)
+        add_car(world, "slow", 12, 4, desired=4)
+        decision = mobil_decision(world, ego, MOBILParams(), (0, 1))
+        assert decision == 1
+
+    def test_respects_allowed_lanes(self):
+        world = make_world()
+        ego = add_car(world, "ego", 0, 12, desired=15)
+        add_car(world, "slow", 12, 4, desired=4)
+        assert mobil_decision(world, ego, MOBILParams(), (0,)) is None
+
+    def test_blocked_target_lane_unsafe(self):
+        """A fast vehicle just behind in the target lane vetoes the
+        change (safety criterion)."""
+        world = make_world()
+        ego = add_car(world, "ego", 0, 10, desired=15)
+        add_car(world, "slow", 12, 3, desired=3)
+        add_car(world, "fast-behind", -3, 18, lane=1, desired=18)
+        decision = mobil_decision(world, ego, MOBILParams(), (0, 1))
+        assert decision is None
+
+    def test_overlapping_target_leader_vetoes(self):
+        world = make_world()
+        ego = add_car(world, "ego", 0, 10, desired=15)
+        add_car(world, "slow", 12, 3, desired=3)
+        add_car(world, "beside", 2.0, 10, lane=1)
+        decision = mobil_decision(world, ego, MOBILParams(), (0, 1))
+        assert decision is None
+
+    def test_no_decision_mid_change(self):
+        world = make_world()
+        ego = add_car(world, "ego", 0, 12, desired=15)
+        add_car(world, "slow", 12, 4, desired=4)
+        ego.target_offset = LANE  # already changing
+        assert mobil_decision(world, ego, MOBILParams(), (0, 1)) is None
+
+    def test_politeness_suppresses_selfish_change(self):
+        """With extreme politeness, a change that slows the new follower
+        is rejected even when the ego would gain."""
+        world = make_world()
+        ego = add_car(world, "ego", 0, 10, desired=15)
+        add_car(world, "slow", 12, 3, desired=3)
+        # Far enough back that the change is *safe*, close enough that it
+        # costs the follower some comfort — politeness decides.
+        add_car(world, "behind", -30, 12, lane=1, desired=12)
+        selfish = mobil_decision(world, ego, MOBILParams(politeness=0.0),
+                                 (0, 1))
+        polite = mobil_decision(world, ego, MOBILParams(politeness=50.0),
+                                (0, 1))
+        assert selfish == 1
+        assert polite is None
+
+
+class TestWorldIntegration:
+    def test_auto_lane_change_executes(self):
+        world = make_world()
+        ego = add_car(world, "ego", 0, 12, desired=15, ego=True)
+        ego.auto_lane_change = True
+        ego.allowed_lanes = (0, 1)
+        add_car(world, "slow", 15, 4, desired=4)
+        world.run(8.0)
+        assert ego.lane_offset > LANE / 2
+
+    def test_min_interval_limits_decisions(self):
+        world = make_world()
+        ego = add_car(world, "ego", 0, 12, desired=12, ego=True)
+        ego.auto_lane_change = True
+        ego.allowed_lanes = (0, 1)
+        world.run(1.0)
+        # Only one decision within the first min_interval window.
+        assert ego.last_lane_decision_t <= 0.5
+
+    def test_disabled_by_default(self):
+        world = make_world()
+        ego = add_car(world, "ego", 0, 12, desired=15, ego=True)
+        add_car(world, "slow", 15, 4, desired=4)
+        world.run(8.0)
+        assert ego.lane_offset == pytest.approx(0.0)
+
+
+class TestNewFamilies:
+    def test_overtake_family_changes_lane_autonomously(self):
+        from repro.sim import simulate_scenario
+
+        for seed in range(3):
+            rec = simulate_scenario("overtake", seed=seed)
+            ego_last = next(a for a in rec.snapshots[-1].agents.values()
+                            if a.is_ego)
+            assert abs(ego_last.lane_offset) > LANE / 2
+
+    def test_green_light_pass_never_stops(self):
+        from repro.sim import simulate_scenario
+
+        for seed in range(3):
+            rec = simulate_scenario("green-light-pass", seed=seed)
+            speeds = [next(a for a in s.agents.values() if a.is_ego).speed
+                      for s in rec.snapshots]
+            assert min(speeds) > 3.0
+
+    def test_green_light_pass_has_light(self):
+        from repro.sim import simulate_scenario
+
+        rec = simulate_scenario("green-light-pass", seed=0)
+        assert rec.snapshots[0].light_state == "green"

@@ -1,0 +1,122 @@
+"""Tests for paths and the IDM controller."""
+
+import numpy as np
+import pytest
+
+from repro.sim import IDMParams, Path, idm_acceleration, straight_path, turn_path
+
+
+class TestPath:
+    def test_straight_pose_along(self):
+        p = straight_path((0, 0), heading=0.0, length=100.0)
+        x, y, h = p.pose(10.0)
+        assert (x, y, h) == pytest.approx((10.0, 0.0, 0.0))
+
+    def test_straight_pose_with_heading(self):
+        p = straight_path((0, 0), heading=np.pi / 2, length=50.0)
+        x, y, _ = p.pose(5.0)
+        assert x == pytest.approx(0.0, abs=1e-9)
+        assert y == pytest.approx(5.0)
+
+    def test_lateral_offset_is_left(self):
+        p = straight_path((0, 0), heading=0.0, length=10.0)
+        _, y, _ = p.pose(1.0, lateral=2.0)
+        assert y == pytest.approx(2.0)
+
+    def test_pose_clamps_beyond_length(self):
+        p = straight_path((0, 0), heading=0.0, length=10.0)
+        x, _, _ = p.pose(999.0)
+        assert x == pytest.approx(10.0)
+
+    def test_pose_clamps_negative(self):
+        p = straight_path((0, 0), heading=0.0, length=10.0)
+        x, _, _ = p.pose(-5.0)
+        assert x == pytest.approx(0.0)
+
+    def test_length(self):
+        p = Path(np.array([[0, 0], [3, 4]]))
+        assert p.length == pytest.approx(5.0)
+
+    def test_invalid_points_raise(self):
+        with pytest.raises(ValueError):
+            Path(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            Path(np.array([[0.0, 0.0], [0.0, 0.0]]))
+
+    def test_turn_path_left_ends_rotated(self):
+        p = turn_path((0, 0), heading=0.0, approach_length=20.0,
+                      turn_radius=5.0, turn_direction="left",
+                      exit_length=20.0)
+        _, _, h_end = p.pose(p.length - 1.0)
+        assert h_end == pytest.approx(np.pi / 2, abs=0.05)
+
+    def test_turn_path_right_ends_rotated(self):
+        p = turn_path((0, 0), heading=0.0, approach_length=20.0,
+                      turn_radius=5.0, turn_direction="right",
+                      exit_length=20.0)
+        _, _, h_end = p.pose(p.length - 1.0)
+        assert h_end == pytest.approx(-np.pi / 2, abs=0.05)
+
+    def test_turn_path_arc_length_close_to_quarter_circle(self):
+        p = turn_path((0, 0), heading=0.0, approach_length=10.0,
+                      turn_radius=8.0, turn_direction="left",
+                      exit_length=10.0, arc_points=64)
+        expected = 10.0 + 8.0 * np.pi / 2 + 10.0
+        assert p.length == pytest.approx(expected, rel=0.01)
+
+    def test_turn_path_invalid_direction(self):
+        with pytest.raises(ValueError):
+            turn_path((0, 0), 0.0, 10.0, 5.0, "up", 10.0)
+
+    def test_heading_continuous_on_arc(self):
+        p = turn_path((0, 0), heading=0.0, approach_length=5.0,
+                      turn_radius=5.0, turn_direction="left",
+                      exit_length=5.0, arc_points=32)
+        headings = [p.pose(s)[2] for s in np.linspace(0, p.length, 100)]
+        diffs = np.abs(np.diff(headings))
+        assert diffs.max() < 0.15
+
+
+class TestIDM:
+    def test_free_road_accelerates_below_desired(self):
+        params = IDMParams(desired_speed=12.0)
+        assert idm_acceleration(params, speed=5.0) > 0.5
+
+    def test_free_road_zero_accel_at_desired(self):
+        params = IDMParams(desired_speed=12.0)
+        assert idm_acceleration(params, speed=12.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_decelerates_above_desired(self):
+        params = IDMParams(desired_speed=10.0)
+        assert idm_acceleration(params, speed=14.0) < 0.0
+
+    def test_brakes_for_close_leader(self):
+        params = IDMParams()
+        accel = idm_acceleration(params, speed=10.0, gap=3.0, lead_speed=0.0)
+        assert accel < -2.0
+
+    def test_comfortable_with_large_gap_same_speed(self):
+        params = IDMParams(desired_speed=10.0)
+        accel = idm_acceleration(params, speed=10.0, gap=100.0, lead_speed=10.0)
+        assert abs(accel) < 0.5
+
+    def test_clamped_at_braking_limit(self):
+        params = IDMParams(comfort_decel=2.5)
+        accel = idm_acceleration(params, speed=20.0, gap=0.5, lead_speed=0.0)
+        assert accel == pytest.approx(-5.0)
+
+    def test_never_exceeds_max_accel(self):
+        params = IDMParams(max_accel=2.0)
+        assert idm_acceleration(params, speed=0.0) <= 2.0
+
+    def test_monotone_in_gap(self):
+        params = IDMParams()
+        accels = [idm_acceleration(params, 10.0, gap=g, lead_speed=10.0)
+                  for g in (5.0, 10.0, 20.0, 40.0)]
+        assert all(a <= b + 1e-9 for a, b in zip(accels, accels[1:]))
+
+    def test_approach_relaxes_with_faster_leader(self):
+        params = IDMParams()
+        slow = idm_acceleration(params, 10.0, gap=15.0, lead_speed=5.0)
+        fast = idm_acceleration(params, 10.0, gap=15.0, lead_speed=12.0)
+        assert fast > slow

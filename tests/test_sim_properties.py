@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) on simulation and SDL invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sdl import ScenarioDescription, sdl_similarity
+from repro.sdl.vocabulary import ACTOR_ACTIONS, ACTOR_TYPES, EGO_ACTIONS, SCENES
+from repro.sim import IDMParams, Vehicle, World, WorldConfig, idm_acceleration
+from repro.sim import straight_path
+
+speeds = st.floats(min_value=0.0, max_value=40.0)
+gaps = st.floats(min_value=0.5, max_value=200.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(speed=speeds, gap=gaps, lead_speed=speeds)
+def test_idm_acceleration_bounded(speed, gap, lead_speed):
+    params = IDMParams()
+    accel = idm_acceleration(params, speed, gap, lead_speed)
+    assert -2 * params.comfort_decel <= accel <= params.max_accel
+
+
+@settings(max_examples=40, deadline=None)
+@given(speed=speeds)
+def test_idm_free_road_sign(speed):
+    """Free road: accelerate below desired speed, decelerate above."""
+    params = IDMParams(desired_speed=15.0)
+    accel = idm_acceleration(params, speed)
+    if speed < 14.0:
+        assert accel > 0
+    elif speed > 16.0:
+        assert accel < 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(v_ego=st.floats(5.0, 15.0), v_lead=st.floats(3.0, 15.0),
+       gap0=st.floats(8.0, 40.0))
+def test_follower_never_collides(v_ego, v_lead, gap0):
+    """IDM safety: from a *feasible* initial state, a follower never
+    rear-ends its leader.  (A start inside the minimum braking distance
+    is an unavoidable crash, not a controller property.)"""
+    from hypothesis import assume
+
+    bumper_gap = gap0 - 4.5
+    closing = max(v_ego - v_lead, 0.0)
+    braking_distance = closing ** 2 / (2 * 4.0) + 2.0
+    assume(bumper_gap > braking_distance)
+    world = World(WorldConfig())
+    path = straight_path((0, 0), 0.0, 2000.0)
+    ego = Vehicle("ego", path, s=0.0, speed=v_ego,
+                  idm=IDMParams(desired_speed=v_ego + 3), is_ego=True)
+    lead = Vehicle("lead", path, s=gap0, speed=v_lead,
+                   idm=IDMParams(desired_speed=v_lead))
+    world.add_vehicle(ego)
+    world.add_vehicle(lead)
+    world.run(15.0)
+    for snap in world.history:
+        gap = (snap.agents["lead"].s - snap.agents["ego"].s
+               - (snap.agents["lead"].length + snap.agents["ego"].length) / 2)
+        assert gap > 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_world_speeds_stay_physical(seed):
+    from repro.sim import simulate_scenario
+    from repro.sim.scenarios import SCENARIO_FAMILIES
+
+    families = sorted(SCENARIO_FAMILIES)
+    family = families[seed % len(families)]
+    rec = simulate_scenario(family, seed=seed, duration=4.0)
+    for snap in rec.snapshots:
+        for agent in snap.agents.values():
+            assert 0.0 <= agent.speed < 45.0
+            assert np.isfinite(agent.x) and np.isfinite(agent.y)
+
+
+description_strategy = st.builds(
+    ScenarioDescription,
+    scene=st.sampled_from(SCENES),
+    ego_action=st.sampled_from(EGO_ACTIONS),
+    actors=st.frozensets(st.sampled_from(ACTOR_TYPES), max_size=3),
+    actor_actions=st.frozensets(st.sampled_from(ACTOR_ACTIONS), max_size=6),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(description_strategy)
+def test_description_json_roundtrip(desc):
+    assert ScenarioDescription.from_json(desc.to_json()) == desc
+
+
+@settings(max_examples=60, deadline=None)
+@given(description_strategy)
+def test_similarity_self_is_max(desc):
+    assert sdl_similarity(desc, desc) == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(description_strategy, description_strategy)
+def test_similarity_symmetric_and_bounded(a, b):
+    s = sdl_similarity(a, b)
+    assert -1e-9 <= s <= 1.0 + 1e-9
+    assert s == pytest.approx(sdl_similarity(b, a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(description_strategy)
+def test_mirror_involution(desc):
+    assert desc.mirrored().mirrored() == desc
+
+
+@settings(max_examples=60, deadline=None)
+@given(description_strategy)
+def test_codec_roundtrip_property(desc):
+    from repro.sdl import LabelCodec
+
+    codec = LabelCodec()
+    encoded = codec.encode(desc)
+    logits = {
+        "scene": _one_hot(encoded["scene"], len(SCENES)),
+        "ego_action": _one_hot(encoded["ego_action"], len(EGO_ACTIONS)),
+        "actors": (encoded["actors"] * 2 - 1) * 10.0,
+        "actor_actions": (encoded["actor_actions"] * 2 - 1) * 10.0,
+    }
+    assert codec.decode(logits) == desc
+
+
+def _one_hot(index, size):
+    logits = np.full(size, -10.0, dtype=np.float32)
+    logits[int(index)] = 10.0
+    return logits

@@ -1,0 +1,197 @@
+"""Tests for scenario scripts and the BEV renderer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    BEVRenderer,
+    RenderConfig,
+    SCENARIO_FAMILIES,
+    build_scenario,
+    simulate_scenario,
+)
+from repro.sim.render import (
+    PEDESTRIAN_CHANNEL,
+    ROAD_CHANNEL,
+    VEHICLE_CHANNEL,
+    ascii_frame,
+)
+
+
+def ego_track(rec, attr):
+    return np.array([
+        getattr(next(a for a in s.agents.values() if a.is_ego), attr)
+        for s in rec.snapshots
+    ])
+
+
+class TestScenarioFamilies:
+    @pytest.mark.parametrize("family", sorted(SCENARIO_FAMILIES))
+    def test_family_simulates_with_ego(self, family):
+        rec = simulate_scenario(family, seed=1)
+        assert len(rec.snapshots) == 80
+        assert any(a.is_ego for a in rec.snapshots[0].agents.values())
+
+    @pytest.mark.parametrize("family", sorted(SCENARIO_FAMILIES))
+    def test_family_deterministic(self, family):
+        a = simulate_scenario(family, seed=5)
+        b = simulate_scenario(family, seed=5)
+        xa = [s.agents[n].x for s in a.snapshots for n in sorted(s.agents)]
+        xb = [s.agents[n].x for s in b.snapshots for n in sorted(s.agents)]
+        np.testing.assert_array_equal(xa, xb)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            build_scenario("warp-drive", seed=0)
+
+    def test_lead_brake_produces_deceleration(self):
+        rec = simulate_scenario("lead-brake", seed=2)
+        speeds = ego_track(rec, "speed")
+        assert speeds.min() < speeds[0] - 2.0
+
+    def test_lane_change_left_moves_left(self):
+        rec = simulate_scenario("lane-change-left", seed=2)
+        offsets = ego_track(rec, "lane_offset")
+        assert offsets[-1] - offsets[0] > 3.0
+
+    def test_lane_change_right_moves_right(self):
+        rec = simulate_scenario("lane-change-right", seed=2)
+        offsets = ego_track(rec, "lane_offset")
+        assert offsets[-1] - offsets[0] < -3.0
+
+    def test_turn_left_rotates_heading(self):
+        rec = simulate_scenario("turn-left", seed=2, duration=10.0)
+        headings = ego_track(rec, "heading")
+        assert headings[-1] - headings[0] > np.pi / 3
+
+    def test_turn_right_rotates_heading(self):
+        rec = simulate_scenario("turn-right", seed=2, duration=10.0)
+        headings = ego_track(rec, "heading")
+        assert headings[-1] - headings[0] < -np.pi / 3
+
+    def test_cut_in_vehicle_merges_to_ego_lane(self):
+        rec = simulate_scenario("cut-in", seed=4)
+        last = rec.snapshots[-1]
+        cutter = last.agents["cutter"]
+        assert abs(cutter.lane_offset) < 0.5
+
+    def test_red_light_stop_has_intersection_scene(self):
+        rec = simulate_scenario("red-light-stop", seed=0)
+        assert rec.snapshots[0].scene == "intersection"
+        assert rec.snapshots[0].light_state is not None
+        assert rec.road.has_cross_road
+
+    def test_red_light_ego_stops_then_goes(self):
+        rec = simulate_scenario("red-light-stop", seed=1, duration=14.0)
+        speeds = ego_track(rec, "speed")
+        assert speeds.min() < 1.0
+        assert speeds[-1] > 2.0
+
+    def test_oncoming_vehicle_approaches(self):
+        rec = simulate_scenario("oncoming", seed=0)
+        first = rec.snapshots[0].agents["oncoming"]
+        ego_first = rec.snapshots[0].agents["ego"]
+        # Oncoming car is ahead of ego and driving in -x.
+        assert first.x > ego_first.x
+        assert abs(abs(first.heading) - np.pi) < 0.1
+
+    def test_pedestrian_crossing_ego_brakes(self):
+        rec = simulate_scenario("pedestrian-crossing", seed=0)
+        speeds = ego_track(rec, "speed")
+        assert speeds.min() < 2.0
+
+    def test_stopped_lead_ego_stops_behind(self):
+        rec = simulate_scenario("stopped-lead", seed=0, duration=12.0)
+        last = rec.snapshots[-1]
+        assert last.agents["ego"].speed < 1.0
+        assert last.agents["ego"].x < last.agents["stopped"].x
+
+
+class TestRenderer:
+    def make(self, family="lead-follow", seed=0):
+        rec = simulate_scenario(family, seed=seed)
+        return rec, BEVRenderer(road=rec.road)
+
+    def test_frame_shape_and_range(self):
+        rec, renderer = self.make()
+        frame = renderer.render(rec.snapshots[0])
+        assert frame.shape == (3, 32, 32)
+        assert frame.dtype == np.float32
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_ego_drawn_at_fixed_position(self):
+        rec, renderer = self.make()
+        for snap in rec.snapshots[::20]:
+            frame = renderer.render(snap)
+            ego_pixels = np.argwhere(frame[ROAD_CHANNEL] >= 1.0)
+            assert len(ego_pixels) > 0
+            row_center = ego_pixels[:, 0].mean()
+            assert abs(row_center - renderer.config.ego_row) < 2.0
+
+    def test_lead_vehicle_appears_ahead(self):
+        rec, renderer = self.make("lead-follow")
+        frame = renderer.render(rec.snapshots[0])
+        veh_rows = np.argwhere(frame[VEHICLE_CHANNEL] > 0.5)[:, 0]
+        assert len(veh_rows) > 0
+        assert veh_rows.max() < renderer.config.ego_row
+
+    def test_pedestrian_in_channel_1(self):
+        rec = simulate_scenario("pedestrian-crossing", seed=0)
+        renderer = BEVRenderer(road=rec.road)
+        seen = any(
+            (renderer.render(s)[PEDESTRIAN_CHANNEL] == 1.0).any()
+            for s in rec.snapshots[::5]
+        )
+        assert seen
+
+    def test_red_light_brighter_than_green(self):
+        rec = simulate_scenario("red-light-stop", seed=1, duration=14.0)
+        renderer = BEVRenderer(road=rec.road)
+        # Use the last red frame (ego is at the stop line, light in view)
+        # and the first green frame after it.
+        red_frame = next(renderer.render(s) for s in reversed(rec.snapshots)
+                         if s.light_state == "red")
+        green_frame = next(renderer.render(s) for s in rec.snapshots
+                           if s.light_state == "green")
+        assert red_frame[PEDESTRIAN_CHANNEL].max() == pytest.approx(1.0)
+        assert 0.0 < green_frame[PEDESTRIAN_CHANNEL].max() < 0.5
+
+    def test_render_clip_shape(self):
+        rec, renderer = self.make()
+        clip = renderer.render_clip(rec.snapshots, sample_every=5)
+        assert clip.shape == (16, 3, 32, 32)
+
+    def test_no_ego_raises(self):
+        rec, renderer = self.make()
+        snap = rec.snapshots[0]
+        agents = {k: v for k, v in snap.agents.items() if not v.is_ego}
+        snap2 = type(snap)(t=snap.t, agents=agents, scene=snap.scene)
+        with pytest.raises(LookupError):
+            renderer.render(snap2)
+
+    def test_custom_resolution(self):
+        rec = simulate_scenario("free-drive", seed=0)
+        renderer = BEVRenderer(
+            RenderConfig(height=48, width=48, ego_row=40), road=rec.road
+        )
+        assert renderer.render(rec.snapshots[0]).shape == (3, 48, 48)
+
+    def test_ascii_frame_has_ego(self):
+        rec, renderer = self.make()
+        art = ascii_frame(renderer.render(rec.snapshots[0]))
+        assert "E" in art
+
+    def test_intersection_cross_road_visible(self):
+        rec = simulate_scenario("turn-left", seed=3)
+        renderer = BEVRenderer(road=rec.road)
+        # At the start, the cross road is ahead: some road pixels in the
+        # top rows outside the main band.
+        frame = renderer.render(rec.snapshots[0])
+        top = frame[ROAD_CHANNEL][:8]
+        assert (top > 0).any()
+
+    def test_motion_changes_frames(self):
+        rec, renderer = self.make("lead-brake", seed=2)
+        f0 = renderer.render(rec.snapshots[0])
+        f1 = renderer.render(rec.snapshots[40])
+        assert not np.allclose(f0, f1)

@@ -1,0 +1,240 @@
+"""Tests for agents, world stepping and interaction resolution."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    IDMParams,
+    Pedestrian,
+    TrafficLight,
+    Vehicle,
+    World,
+    WorldConfig,
+    straight_path,
+)
+
+LANE = 3.5
+
+
+def make_world(scene="straight-road"):
+    return World(WorldConfig(lane_width=LANE), scene=scene)
+
+
+def add_car(world, name, s, speed, lane=0.0, desired=None, ego=False,
+            group="main"):
+    path = straight_path((0, 0), 0.0, 500.0)
+    v = Vehicle(name, path, s=s, speed=speed, lane_offset=lane * LANE,
+                idm=IDMParams(desired_speed=desired or speed), is_ego=ego,
+                route_group=group)
+    return world.add_vehicle(v)
+
+
+class TestVehicle:
+    def test_effective_lane_rounds(self):
+        w = make_world()
+        v = add_car(w, "a", 0, 10, lane=0.0)
+        v.lane_offset = 1.0
+        assert v.effective_lane(LANE) == 0
+        v.lane_offset = 2.5
+        assert v.effective_lane(LANE) == 1
+
+    def test_lane_change_animates_to_target(self):
+        w = make_world()
+        v = add_car(w, "a", 0, 10, ego=True)
+        v.schedule_lane_change(0.0, LANE)
+        w.run(5.0)
+        assert v.lane_offset == pytest.approx(LANE, abs=0.05)
+
+    def test_lane_change_rate_respected(self):
+        w = make_world()
+        v = add_car(w, "a", 0, 10, ego=True)
+        v.lateral_rate = 1.0
+        v.schedule_lane_change(0.0, LANE)
+        w.run(1.0)
+        assert v.lane_offset == pytest.approx(1.0, abs=0.05)
+
+    def test_brake_override_wins(self):
+        w = make_world()
+        v = add_car(w, "a", 0, 10, ego=True)
+        v.schedule_brake(0.0, 2.0, accel=-4.0)
+        w.run(1.0)
+        assert v.speed == pytest.approx(10.0 - 4.0, abs=0.1)
+
+    def test_speed_never_negative(self):
+        w = make_world()
+        v = add_car(w, "a", 0, 2.0, ego=True)
+        v.schedule_brake(0.0, 5.0, accel=-8.0)
+        w.run(3.0)
+        assert v.speed == 0.0
+
+    def test_is_changing_lane(self):
+        w = make_world()
+        v = add_car(w, "a", 0, 10)
+        assert not v.is_changing_lane()
+        v.target_offset = LANE
+        assert v.is_changing_lane()
+
+
+class TestLeaderResolution:
+    def test_follower_keeps_gap(self):
+        w = make_world()
+        ego = add_car(w, "ego", 0, 12, desired=15, ego=True)
+        add_car(w, "lead", 20, 8)
+        w.run(15.0)
+        gap = w.vehicles[1].s - ego.s
+        assert gap > 4.0  # never collides
+        assert ego.speed == pytest.approx(8.0, abs=1.0)
+
+    def test_no_interaction_across_lanes(self):
+        w = make_world()
+        ego = add_car(w, "ego", 0, 12, desired=12, ego=True)
+        add_car(w, "other", 15, 5, lane=1.0)
+        w.run(6.0)
+        assert ego.speed == pytest.approx(12.0, abs=0.5)
+
+    def test_no_interaction_across_route_groups(self):
+        w = make_world()
+        ego = add_car(w, "ego", 0, 12, ego=True)
+        add_car(w, "cross", 15, 0.0, group="cross")
+        w.run(4.0)
+        assert ego.speed > 10.0
+
+    def test_target_lane_counts_as_occupied(self):
+        """A vehicle merging toward the ego lane is already a leader."""
+        w = make_world()
+        ego = add_car(w, "ego", 0, 12, desired=12, ego=True)
+        merger = add_car(w, "merger", 12, 9, lane=1.0)
+        merger.schedule_lane_change(0.0, 0.0)
+        w.run(1.0)
+        assert ego.accel < -0.3
+
+    def test_nearest_leader_chosen(self):
+        w = make_world()
+        ego = add_car(w, "ego", 0, 10, ego=True)
+        add_car(w, "far", 50, 10)
+        near = add_car(w, "near", 15, 10)
+        assert w._leader_of(ego) is near
+
+    def test_no_collisions_in_queue(self):
+        w = make_world()
+        add_car(w, "ego", 0, 12, ego=True)
+        add_car(w, "mid", 25, 10)
+        add_car(w, "front", 45, 0.0, desired=0.0)
+        w.run(12.0)
+        positions = sorted((v.s, v.length) for v in w.vehicles)
+        for (s1, l1), (s2, l2) in zip(positions, positions[1:]):
+            assert s2 - s1 >= (l1 + l2) / 2 - 0.5
+
+
+class TestTrafficLight:
+    def test_phase_cycle(self):
+        light = TrafficLight(10.0, (10.0, 0.0),
+                             [("red", 5.0), ("green", 5.0)])
+        assert light.state(0.0) == "red"
+        assert light.state(5.1) == "green"
+        assert light.state(10.1) == "red"  # wraps
+
+    def test_invalid_phase_state(self):
+        with pytest.raises(ValueError):
+            TrafficLight(0, (0, 0), [("blue", 3.0)])
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            TrafficLight(0, (0, 0), [("red", 0.0)])
+
+    def test_empty_phases(self):
+        with pytest.raises(ValueError):
+            TrafficLight(0, (0, 0), [])
+
+    def test_ego_stops_at_red(self):
+        w = make_world("intersection")
+        ego = add_car(w, "ego", 0, 10, ego=True)
+        w.set_light(TrafficLight(40.0, (40.0, 0.0), [("red", 100.0)]))
+        w.run(10.0)
+        assert ego.speed < 0.5
+        assert ego.s < 40.0
+
+    def test_ego_proceeds_on_green(self):
+        w = make_world("intersection")
+        ego = add_car(w, "ego", 0, 10, ego=True)
+        w.set_light(TrafficLight(40.0, (40.0, 0.0), [("green", 100.0)]))
+        w.run(6.0)
+        assert ego.s > 40.0
+
+    def test_passed_stop_line_not_braking(self):
+        w = make_world("intersection")
+        ego = add_car(w, "ego", 45.0, 10, ego=True)
+        w.set_light(TrafficLight(40.0, (40.0, 0.0), [("red", 100.0)]))
+        w.run(2.0)
+        assert ego.speed > 9.0
+
+
+class TestPedestrianInteraction:
+    def test_ego_yields_to_crossing_ped(self):
+        w = make_world()
+        ego = add_car(w, "ego", 0, 10, ego=True)
+        w.add_pedestrian(Pedestrian("p", start=(30.0, 6.0),
+                                    velocity=(0.0, -1.5)))
+        w.run(6.0)
+        assert min(s.agents["ego"].speed for s in w.history) < 2.0
+
+    def test_ped_behind_ignored(self):
+        w = make_world()
+        ego = add_car(w, "ego", 20, 10, ego=True)
+        w.add_pedestrian(Pedestrian("p", start=(5.0, 0.0),
+                                    velocity=(0.0, 0.0)))
+        w.run(2.0)
+        assert ego.speed > 9.0
+
+    def test_inactive_ped_ignored(self):
+        w = make_world()
+        ego = add_car(w, "ego", 0, 10, ego=True)
+        w.add_pedestrian(Pedestrian("p", start=(20.0, 0.0),
+                                    velocity=(0.0, 0.0), t_start=100.0))
+        w.run(1.0)
+        assert ego.speed > 9.0
+
+    def test_ped_position_clamped_to_window(self):
+        p = Pedestrian("p", start=(0.0, 5.0), velocity=(0.0, -1.0),
+                       t_start=1.0, t_end=3.0)
+        np.testing.assert_allclose(p.position(0.0), [0.0, 5.0])
+        np.testing.assert_allclose(p.position(2.0), [0.0, 4.0])
+        np.testing.assert_allclose(p.position(10.0), [0.0, 3.0])
+
+
+class TestSnapshots:
+    def test_history_grows_per_step(self):
+        w = make_world()
+        add_car(w, "ego", 0, 10, ego=True)
+        w.run(1.0)
+        assert len(w.history) == 10
+
+    def test_snapshot_contains_all_active_agents(self):
+        w = make_world()
+        add_car(w, "ego", 0, 10, ego=True)
+        add_car(w, "other", 20, 10)
+        w.add_pedestrian(Pedestrian("p", start=(50.0, 8.0),
+                                    velocity=(0.0, -1.0)))
+        snap = w.step()
+        assert set(snap.agents) == {"ego", "other", "p"}
+
+    def test_ego_property(self):
+        w = make_world()
+        with pytest.raises(LookupError):
+            w.ego
+        v = add_car(w, "ego", 0, 10, ego=True)
+        assert w.ego is v
+
+    def test_snapshot_scene_propagated(self):
+        w = make_world("intersection")
+        add_car(w, "ego", 0, 10, ego=True)
+        assert w.step().scene == "intersection"
+
+    def test_determinism_same_seed(self):
+        from repro.sim import simulate_scenario
+        a = simulate_scenario("cut-in", seed=9)
+        b = simulate_scenario("cut-in", seed=9)
+        for sa, sb in zip(a.snapshots, b.snapshots):
+            for name in sa.agents:
+                assert sa.agents[name].x == sb.agents[name].x
+                assert sa.agents[name].speed == sb.agents[name].speed

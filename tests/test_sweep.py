@@ -1,0 +1,40 @@
+"""Tests for the sweep helper."""
+
+import pytest
+
+from repro.eval import ExperimentScale
+from repro.eval.sweep import run_sweep, sweep_grid
+
+TINY = ExperimentScale(num_clips=24, frames=4, height=16, width=16,
+                       dim=16, depth=1, num_heads=2, epochs=1,
+                       batch_size=8)
+
+
+class TestSweepGrid:
+    def test_cartesian_product(self):
+        grid = sweep_grid(dim=(16, 32), depth=(1, 2))
+        assert len(grid) == 4
+        assert {"dim": 16, "depth": 2} in grid
+
+    def test_empty_grid(self):
+        assert sweep_grid() == [{}]
+
+    def test_single_axis(self):
+        assert sweep_grid(lr=(0.1,)) == [{"lr": 0.1}]
+
+
+class TestRunSweep:
+    def test_runs_all_configs(self):
+        results = run_sweep(TINY, "frame-mlp",
+                            sweep_grid(dim=(16, 32)))
+        assert set(results) == {"dim=16", "dim=32"}
+        for row in results.values():
+            assert "ego_acc" in row and "train_s" in row
+
+    def test_train_overrides_routed(self):
+        results = run_sweep(TINY, "frame-mlp", [{"lr": 1e-3}])
+        assert "lr=0.001" in results
+
+    def test_default_label(self):
+        results = run_sweep(TINY, "frame-mlp", [{}])
+        assert "default" in results
