@@ -15,6 +15,8 @@ Layered architecture (bottom-up):
   :class:`~repro.core.pipeline.ScenarioExtractor`, scenario mining and
   text-to-video retrieval.
 - ``repro.eval`` — experiment harness regenerating every table/figure.
+- ``repro.obs`` — telemetry: metrics registry, tracing spans, and the
+  ``repro profile`` workload profiler (off by default).
 """
 
 __version__ = "1.0.0"
@@ -30,4 +32,5 @@ __all__ = [
     "train",
     "core",
     "eval",
+    "obs",
 ]

@@ -15,6 +15,15 @@ from repro.autograd.tensor import Tensor, _coerce, _unbroadcast
 
 SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
 
+#: Fused ops patched by ``repro.obs.instrument`` while telemetry is
+#: enabled (module-attribute access only — ``F.softmax(...)`` style,
+#: which is how every hot path in this repo calls them).
+PROFILED_FUNCTIONS = (
+    "relu", "gelu", "sigmoid", "softmax", "log_softmax", "layer_norm",
+    "concat", "stack", "dropout", "embedding", "cross_entropy",
+    "binary_cross_entropy_with_logits",
+)
+
 
 # ----------------------------------------------------------------------
 # Activations

@@ -7,6 +7,8 @@ Commands
 - ``extract`` — run a trained model over a dataset and print sentences.
 - ``evaluate`` — full SDL metric suite of a checkpoint on a dataset.
 - ``mine`` — export a corpus to JSONL, ranked by criticality.
+- ``profile`` — run a short train + extraction workload under telemetry
+  and report per-stage latency/throughput (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -114,6 +116,23 @@ def cmd_mine(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """``profile``: per-stage latency/throughput report of a short
+    train + extraction workload, JSON and human-readable."""
+    from repro.obs.profiler import format_report, run_profile
+
+    report = run_profile(args.workload, seed=args.seed)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"\nwrote JSON report to {args.out}")
+    return 0
+
+
 def cmd_stats(args) -> int:
     """``stats``: print tag frequencies and imbalance of a dataset."""
     from repro.sdl.statistics import format_statistics
@@ -167,6 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="dataset label statistics")
     stats.add_argument("--data", required=True)
     stats.set_defaults(fn=cmd_stats)
+
+    profile = sub.add_parser(
+        "profile", help="per-stage latency/throughput report"
+    )
+    profile.add_argument("--workload", default="smoke",
+                         choices=("smoke", "small"))
+    profile.add_argument("--out", default="",
+                         help="also write the JSON report to this path")
+    profile.add_argument("--json", action="store_true",
+                         help="print JSON instead of the table")
+    profile.set_defaults(fn=cmd_profile)
 
     mine = sub.add_parser(
         "mine", help="extract a corpus to JSONL, sorted by criticality"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -10,6 +11,7 @@ import numpy as np
 from repro.autograd import no_grad
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
+from repro.obs import is_enabled, metrics, span
 from repro.sdl.codec import LabelCodec
 from repro.sdl.description import ScenarioDescription
 
@@ -76,19 +78,30 @@ class ScenarioExtractor:
 
     def extract_batch(self, clips: np.ndarray) -> List[ExtractionResult]:
         """Extract descriptions for ``(N, T, C, H, W)`` clips."""
-        logits = self.logits(clips)
-        descriptions = self.codec.decode_batch(logits,
-                                               threshold=self.threshold)
+        start = time.perf_counter()
+        with span("pipeline/forward"):
+            logits = self.logits(clips)
+        with span("pipeline/decode"):
+            descriptions = self.codec.decode_batch(logits,
+                                                   threshold=self.threshold)
         frames = clips.shape[1]
-        return [
-            ExtractionResult(
-                description=desc,
-                sentence=desc.to_sentence(),
-                confidences=self._confidences(logits, i),
-                frame_range=(0, frames),
-            )
-            for i, desc in enumerate(descriptions)
-        ]
+        with span("pipeline/render"):
+            results = [
+                ExtractionResult(
+                    description=desc,
+                    sentence=desc.to_sentence(),
+                    confidences=self._confidences(logits, i),
+                    frame_range=(0, frames),
+                )
+                for i, desc in enumerate(descriptions)
+            ]
+        if is_enabled() and results:
+            per_clip = (time.perf_counter() - start) / len(results)
+            latency = metrics.histogram("pipeline.clip_seconds")
+            for _ in results:
+                latency.observe(per_clip)
+            metrics.counter("pipeline.clips").inc(len(results))
+        return results
 
     def extract_sliding(self, video: np.ndarray, window: int,
                         stride: int) -> List[ExtractionResult]:

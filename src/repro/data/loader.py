@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.data.synthdrive import SynthDriveDataset
 from repro.data.transforms import Transform
+from repro.obs import is_enabled, metrics, span
 
 
 class DataLoader:
@@ -45,7 +46,12 @@ class DataLoader:
             batch_idx = indices[start:start + self.batch_size]
             if self.drop_last and len(batch_idx) < self.batch_size:
                 return
-            yield self._collate(batch_idx)
+            with span("data/collate"):
+                batch = self._collate(batch_idx)
+            if is_enabled():
+                metrics.counter("data.batches_served").inc()
+                metrics.counter("data.clips_served").inc(len(batch_idx))
+            yield batch
 
     def _collate(self, batch_idx: np.ndarray) -> Dict[str, np.ndarray]:
         targets = self.dataset.targets

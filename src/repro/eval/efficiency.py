@@ -104,3 +104,57 @@ def measure_throughput(model: Module, batch_size: int = 16,
         "clips_per_s": 1.0 / per_clip,
         "ms_per_clip": per_clip * 1000.0,
     }
+
+
+def measured_profile(model: Module, batch_size: int = 8,
+                     repeats: int = 2, seed: int = 0,
+                     autograd_ops: bool = False) -> Dict[str, object]:
+    """Measured per-stage forward breakdown via ``repro.obs`` spans.
+
+    Complements :func:`estimate_flops` (analytic) and
+    :func:`measure_throughput` (end-to-end measured) with the *measured
+    split* across instrumented stages — e.g. spatial vs. temporal
+    attention of a divided video transformer.  Resets the global
+    telemetry state and leaves telemetry in the enabled/disabled state
+    it found.  With ``autograd_ops=True`` per-op timers are patched in
+    too (slower, but adds an op-level breakdown).
+    """
+    from repro import obs
+
+    cfg: ModelConfig = model.config
+    rng = np.random.default_rng(seed)
+    clips = rng.random(
+        (batch_size, cfg.frames, cfg.channels, cfg.height, cfg.width)
+    ).astype(np.float32)
+    model.eval()
+    was_enabled = obs.is_enabled()
+    obs.enable(autograd=autograd_ops)
+    try:
+        with no_grad():
+            model(Tensor(clips))  # warm-up
+            obs.reset()
+            start = time.perf_counter()
+            for _ in range(repeats):
+                model(Tensor(clips))
+            elapsed = time.perf_counter() - start
+        stages = obs.flatten_trace()
+        ops = obs.instrument.op_totals() if autograd_ops else {}
+    finally:
+        if not was_enabled:
+            obs.disable()
+        obs.reset()
+    per_clip = elapsed / (repeats * batch_size)
+    return {
+        "clips_per_s": 1.0 / per_clip,
+        "ms_per_clip": per_clip * 1000.0,
+        "stages": {
+            name: {
+                "calls": int(info["count"]),
+                "ms_total": info["total_seconds"] * 1e3,
+                "share": (info["total_seconds"] / elapsed
+                          if elapsed > 0 else 0.0),
+            }
+            for name, info in sorted(stages.items())
+        },
+        "autograd_ops": ops,
+    }

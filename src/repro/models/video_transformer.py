@@ -19,6 +19,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.obs import span
 from repro.nn import (
     Dropout,
     LayerNorm,
@@ -47,9 +48,11 @@ class DividedSTBlock(Module):
                  dropout: float, rng: np.random.Generator) -> None:
         super().__init__()
         self.norm_t = LayerNorm(dim)
-        self.attn_t = MultiHeadAttention(dim, num_heads, dropout, rng=rng)
+        self.attn_t = MultiHeadAttention(dim, num_heads, dropout, rng=rng,
+                                         name="temporal")
         self.norm_s = LayerNorm(dim)
-        self.attn_s = MultiHeadAttention(dim, num_heads, dropout, rng=rng)
+        self.attn_s = MultiHeadAttention(dim, num_heads, dropout, rng=rng,
+                                         name="spatial")
         self.norm_m = LayerNorm(dim)
         self.mlp = MLP(dim, int(dim * mlp_ratio), dropout, rng=rng)
         self.drop = Dropout(dropout, rng=rng)
@@ -161,7 +164,8 @@ class VideoTransformer(Module):
             from repro.autograd import functional as F
             x = F.concat([cls, tokens], axis=1) + self.pos_embed
             x = self.drop(x)
-            x = self.encoder(x)
+            with span("nn/encoder/joint"):
+                x = self.encoder(x)
             return x[:, 0]
         if self.attention == "divided":
             x = self.embed(video)  # (B, T, N, D)
@@ -193,13 +197,15 @@ class VideoTransformer(Module):
         )
         x = F.concat([cls_s, x], axis=1) + self.pos_spatial
         x = self.drop(x)
-        x = self.spatial_encoder(x)
+        with span("nn/encoder/spatial"):
+            x = self.spatial_encoder(x)
         frame_feats = x[:, 0].reshape(batch, frames, dim)
         cls_t = self.cls_temporal * Tensor(
             np.ones((batch, 1, 1), dtype=np.float32)
         )
         y = F.concat([cls_t, frame_feats], axis=1) + self.pos_temporal
-        y = self.temporal_encoder(y)
+        with span("nn/encoder/temporal"):
+            y = self.temporal_encoder(y)
         return y[:, 0]
 
     def forward(self, video: Tensor) -> Dict[str, Tensor]:

@@ -10,6 +10,7 @@ from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
+from repro.obs import span
 
 NEG_INF = -1e9
 
@@ -20,10 +21,15 @@ class MultiHeadAttention(Module):
     Splits ``dim`` into ``num_heads`` heads, computes scaled dot-product
     attention per head, and projects back.  An optional boolean mask of
     shape ``(N, N)`` or ``(B, N, N)`` marks *allowed* attention pairs.
+
+    ``name`` labels this instance in telemetry traces — the divided
+    video transformer names its two attentions ``"temporal"`` and
+    ``"spatial"`` so the factorization split shows up per stage.
     """
 
     def __init__(self, dim: int, num_heads: int, dropout: float = 0.0,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "self") -> None:
         super().__init__()
         if dim % num_heads != 0:
             raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
@@ -35,8 +41,13 @@ class MultiHeadAttention(Module):
         self.qkv = Linear(dim, 3 * dim, rng=rng)
         self.proj = Linear(dim, dim, rng=rng)
         self.attn_dropout = Dropout(dropout, rng=rng)
+        self.span_name = f"nn/attention/{name}"
 
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        with span(self.span_name):
+            return self._attend(x, mask)
+
+    def _attend(self, x: Tensor, mask: Optional[np.ndarray]) -> Tensor:
         batch, n_tokens, dim = x.shape
         qkv = self.qkv(x)  # (B, N, 3D)
         qkv = qkv.reshape(batch, n_tokens, 3, self.num_heads, self.head_dim)

@@ -1,0 +1,88 @@
+"""repro.obs — telemetry: metrics, tracing spans, profiling.
+
+The subsystem has three pieces (see ``docs/observability.md``):
+
+- a process-global :class:`~repro.obs.registry.MetricsRegistry` of
+  counters / gauges / histograms with labels (``metrics``);
+- hierarchical tracing :func:`~repro.obs.tracing.span`\\ s that build an
+  aggregated per-thread trace tree;
+- patch-on-enable instrumentation of the autograd op-dispatch surface
+  (:mod:`repro.obs.instrument`) plus always-present spans on the
+  train / data / pipeline hot paths.
+
+Everything is **off by default**: :func:`span` is a no-op and the
+autograd ops are the pristine unpatched originals until
+:func:`enable` is called.  ``repro profile`` (see
+:mod:`repro.obs.profiler`) runs a short train + extraction workload
+under telemetry and reports per-stage latency/throughput.
+"""
+
+from __future__ import annotations
+
+from repro.obs import instrument
+from repro.obs.logs import (
+    ConsoleHandler,
+    TelemetryHandler,
+    get_logger,
+    set_console,
+)
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.tracing import (
+    SpanNode,
+    _set_enabled,
+    flatten_trace,
+    format_trace,
+    get_trace,
+    is_enabled,
+    reset_trace,
+    span,
+    trace_dict,
+    traced,
+)
+
+#: The process-global default registry; hot paths cache series handles.
+metrics: MetricsRegistry = get_registry()
+
+
+def enable(autograd: bool = True) -> None:
+    """Turn telemetry on: activate spans + metric recording and (by
+    default) patch the autograd per-op timers in."""
+    _set_enabled(True)
+    if autograd:
+        instrument.install(metrics)
+
+
+def disable() -> None:
+    """Turn telemetry off and restore the unpatched autograd ops."""
+    _set_enabled(False)
+    instrument.uninstall()
+
+
+def reset() -> None:
+    """Zero all metric series and drop the current trace tree."""
+    metrics.reset()
+    reset_trace()
+
+
+__all__ = [
+    "ConsoleHandler",
+    "MetricsRegistry",
+    "SpanNode",
+    "TelemetryHandler",
+    "disable",
+    "enable",
+    "flatten_trace",
+    "format_trace",
+    "get_logger",
+    "get_registry",
+    "get_trace",
+    "instrument",
+    "is_enabled",
+    "metrics",
+    "reset",
+    "reset_trace",
+    "set_console",
+    "span",
+    "trace_dict",
+    "traced",
+]

@@ -1,0 +1,104 @@
+"""Patch-on-enable instrumentation of the autograd op-dispatch surface.
+
+:func:`install` replaces the hot :class:`~repro.autograd.tensor.Tensor`
+methods (named by ``tensor.PROFILED_OPS``) and the fused ops of
+``repro.autograd.functional`` (``PROFILED_FUNCTIONS``) with thin timed
+wrappers that bump ``autograd.op.calls{op=...}`` and observe
+``autograd.op.seconds{op=...}`` in the default metrics registry.
+:func:`uninstall` restores the pristine originals, so with telemetry
+disabled the dispatch path is byte-for-byte the unpatched code — zero
+overhead by construction, which the overhead-guard test asserts
+structurally.
+
+Recorded times are *inclusive*: an op that calls another profiled op
+(``mean`` → ``sum``, ``cross_entropy`` → ``log_softmax``) counts the
+nested time in both series.  Call sites that imported a functional op
+directly (``from ... import softmax``) bypass the module-attribute
+patch and go uncounted; the repo uses ``F.<op>`` module access on the
+hot paths.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+_SAVED: List[Tuple[object, str, object]] = []
+_INSTALLED = False
+
+
+def is_installed() -> bool:
+    return _INSTALLED
+
+
+def _op_label(attr: str) -> str:
+    return attr.strip("_")
+
+
+def _wrap(original, op: str, registry: MetricsRegistry):
+    calls = registry.counter("autograd.op.calls", op=op)
+    seconds = registry.histogram("autograd.op.seconds", op=op)
+
+    def wrapper(*args, **kwargs):
+        start = perf_counter()
+        try:
+            return original(*args, **kwargs)
+        finally:
+            calls.value += 1.0
+            seconds.observe(perf_counter() - start)
+
+    wrapper.__name__ = getattr(original, "__name__", op)
+    wrapper.__qualname__ = getattr(original, "__qualname__", op)
+    wrapper.__doc__ = getattr(original, "__doc__", None)
+    wrapper.__wrapped__ = original
+    return wrapper
+
+
+def install(registry: Optional[MetricsRegistry] = None) -> None:
+    """Patch timed wrappers over the profiled autograd ops (idempotent)."""
+    global _INSTALLED
+    if _INSTALLED:
+        return
+    registry = registry or get_registry()
+    # Imported here so ``repro.obs`` stays importable on its own and the
+    # autograd package never depends on obs.
+    from repro.autograd import functional
+    from repro.autograd.tensor import PROFILED_OPS, Tensor
+
+    for attr in PROFILED_OPS:
+        original = getattr(Tensor, attr)
+        _SAVED.append((Tensor, attr, original))
+        setattr(Tensor, attr, _wrap(original, _op_label(attr), registry))
+    for attr in functional.PROFILED_FUNCTIONS:
+        original = getattr(functional, attr)
+        _SAVED.append((functional, attr, original))
+        setattr(functional, attr, _wrap(original, attr, registry))
+    _INSTALLED = True
+
+
+def uninstall() -> None:
+    """Restore every patched op to its pristine original (idempotent)."""
+    global _INSTALLED
+    while _SAVED:
+        owner, attr, original = _SAVED.pop()
+        setattr(owner, attr, original)
+    _INSTALLED = False
+
+
+def op_totals(registry: Optional[MetricsRegistry] = None
+              ) -> Dict[str, Dict[str, float]]:
+    """Per-op ``{"calls", "seconds"}`` aggregated from the registry."""
+    registry = registry or get_registry()
+    out: Dict[str, Dict[str, float]] = {}
+    for metric in registry.series():
+        op = metric.labels.get("op")
+        if op is None:
+            continue
+        entry = out.setdefault(op, {"calls": 0.0, "seconds": 0.0})
+        if metric.name == "autograd.op.calls":
+            entry["calls"] += metric.value
+        elif metric.name == "autograd.op.seconds":
+            entry["seconds"] += metric.sum
+    return out

@@ -1,0 +1,74 @@
+"""Stdlib ``logging`` wired into the telemetry layer.
+
+Every logger below the ``repro`` root gets a :class:`TelemetryHandler`
+that counts emitted records into the default metrics registry
+(``log.records{logger=...,level=...}``).  :func:`set_console` attaches
+or removes a plain-format handler writing to the *current*
+``sys.stdout``, which is how ``Trainer(verbose=True)`` keeps the same
+visible output the old ``print`` produced (and stays capturable by
+pytest's ``capsys``).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+from repro.obs.registry import get_registry
+
+ROOT_LOGGER_NAME = "repro"
+
+
+class TelemetryHandler(logging.Handler):
+    """Counts log records per (logger, level) in the metrics registry."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            get_registry().counter("log.records", logger=record.name,
+                                   level=record.levelname).inc()
+        except Exception:  # pragma: no cover - defensive, never expected
+            self.handleError(record)
+
+
+class ConsoleHandler(logging.StreamHandler):
+    """StreamHandler bound to whatever ``sys.stdout`` currently is."""
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore.
+        pass
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy with telemetry counting."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if not any(isinstance(h, TelemetryHandler) for h in root.handlers):
+        root.addHandler(TelemetryHandler())
+        root.setLevel(logging.INFO)
+    if name != ROOT_LOGGER_NAME and not name.startswith(
+            ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def set_console(logger: logging.Logger, enabled: bool = True,
+                level: int = logging.INFO
+                ) -> Optional[logging.Handler]:
+    """Attach (or detach) the plain stdout handler on ``logger``."""
+    existing = [h for h in logger.handlers if isinstance(h, ConsoleHandler)]
+    if not enabled:
+        for handler in existing:
+            logger.removeHandler(handler)
+        return None
+    if existing:
+        existing[0].setLevel(level)
+        return existing[0]
+    handler = ConsoleHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler.setLevel(level)
+    logger.addHandler(handler)
+    return handler

@@ -1,0 +1,231 @@
+"""``repro profile`` — run a short train + extraction workload under
+telemetry and report per-stage latency/throughput.
+
+The report (JSON-serialisable dict, schema ``repro.profile/v1``)
+covers: data generation, the per-epoch forward/backward/optim training
+breakdown, end-to-end extraction latency, uninstrumented inference
+throughput, the measured per-stage forward split (spatial vs. temporal
+attention), the hottest autograd ops, and the raw span tree + metrics
+snapshot.  ``benchmarks/baseline_profile.json`` is a committed snapshot
+of ``repro profile --workload smoke`` that perf PRs diff against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, List
+
+from repro import obs
+
+#: Named workloads: small enough to finish in seconds on CPU while
+#: still exercising the divided video transformer end to end.
+WORKLOADS: Dict[str, Dict[str, object]] = {
+    "smoke": dict(model="vt-divided", clips=24, frames=4, epochs=1,
+                  batch_size=8, dim=16, depth=1, heads=2,
+                  extract_clips=8),
+    "small": dict(model="vt-divided", clips=96, frames=8, epochs=2,
+                  batch_size=16, dim=32, depth=2, heads=4,
+                  extract_clips=32),
+}
+
+SCHEMA = "repro.profile/v1"
+
+
+def run_profile(workload: str = "smoke", seed: int = 0) -> Dict[str, object]:
+    """Run the named workload under telemetry; returns the report dict."""
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from "
+            f"{sorted(WORKLOADS)}"
+        )
+    spec = dict(WORKLOADS[workload])
+
+    from repro.core import ScenarioExtractor
+    from repro.data import SynthDriveConfig, generate_dataset
+    from repro.eval.efficiency import (
+        estimate_flops,
+        measure_throughput,
+        measured_profile,
+    )
+    from repro.models import ModelConfig, build_model
+    from repro.train import TrainConfig, Trainer
+
+    obs.enable()
+    obs.reset()
+    try:
+        with obs.span("profile/generate"):
+            dataset = generate_dataset(SynthDriveConfig(
+                num_clips=int(spec["clips"]), frames=int(spec["frames"]),
+                seed=seed,
+            ))
+        model = build_model(str(spec["model"]), ModelConfig(
+            frames=int(spec["frames"]), dim=int(spec["dim"]),
+            depth=int(spec["depth"]), num_heads=int(spec["heads"]),
+            seed=seed,
+        ))
+        trainer = Trainer(model, TrainConfig(
+            epochs=int(spec["epochs"]), batch_size=int(spec["batch_size"]),
+            seed=seed,
+        ))
+        with obs.span("profile/train"):
+            history = trainer.fit(dataset)
+
+        n_extract = min(int(spec["extract_clips"]), len(dataset))
+        extractor = ScenarioExtractor(model,
+                                      batch_size=int(spec["batch_size"]))
+        with obs.span("profile/extract"):
+            extractor.extract_batch(dataset.videos[:n_extract])
+
+        span_tree = obs.trace_dict()
+        flat_spans = obs.flatten_trace()
+        snapshot = obs.metrics.snapshot()
+        op_totals = obs.instrument.op_totals()
+        extract_stats = _extract_stats(flat_spans, n_extract)
+        data_stats = _data_stats(flat_spans)
+    finally:
+        obs.disable()
+
+    # Uninstrumented numbers for clean comparison against Table 4.
+    throughput = measure_throughput(model,
+                                    batch_size=int(spec["batch_size"]))
+    stage_split = measured_profile(model,
+                                   batch_size=int(spec["batch_size"]),
+                                   repeats=2, seed=seed)
+    obs.reset()
+
+    train_seconds = sum(r.seconds for r in history)
+    clips_trained = int(spec["clips"]) * len(history)
+    return {
+        "schema": SCHEMA,
+        "workload": workload,
+        "seed": seed,
+        "spec": spec,
+        "train": {
+            "epochs": len(history),
+            "total_seconds": train_seconds,
+            "clips_per_s": (clips_trained / train_seconds
+                            if train_seconds > 0 else 0.0),
+            "forward_seconds": sum(r.forward_seconds for r in history),
+            "backward_seconds": sum(r.backward_seconds for r in history),
+            "optim_seconds": sum(r.optim_seconds for r in history),
+            "final_loss": history[-1].train_loss if history else 0.0,
+            "per_epoch": [_epoch_dict(r) for r in history],
+        },
+        "extract": extract_stats,
+        "data": data_stats,
+        "inference": {
+            "est_gflops": estimate_flops(model) / 1e9,
+            **throughput,
+        },
+        "forward_stages": stage_split["stages"],
+        "autograd_ops": _top_ops(op_totals),
+        "spans": span_tree,
+        "metrics": snapshot,
+    }
+
+
+def _epoch_dict(record) -> Dict[str, object]:
+    row = asdict(record)
+    row.pop("val_metrics", None)
+    return row
+
+
+def _extract_stats(flat_spans: Dict[str, Dict[str, float]],
+                   n_clips: int) -> Dict[str, float]:
+    total = flat_spans.get("profile/extract",
+                           {"total_seconds": 0.0})["total_seconds"]
+    stats = {
+        "clips": n_clips,
+        "total_seconds": total,
+        "ms_per_clip": total / n_clips * 1e3 if n_clips else 0.0,
+        "clips_per_s": n_clips / total if total > 0 else 0.0,
+    }
+    for stage in ("forward", "decode", "render"):
+        info = flat_spans.get(f"pipeline/{stage}")
+        if info:
+            stats[f"{stage}_seconds"] = info["total_seconds"]
+    return stats
+
+
+def _data_stats(flat_spans: Dict[str, Dict[str, float]]
+                ) -> Dict[str, float]:
+    collate = flat_spans.get("data/collate",
+                             {"count": 0, "total_seconds": 0.0})
+    return {
+        "batches_served": int(collate["count"]),
+        "collate_seconds": collate["total_seconds"],
+        "ms_per_batch": (collate["total_seconds"] / collate["count"] * 1e3
+                         if collate["count"] else 0.0),
+    }
+
+
+def _top_ops(op_totals: Dict[str, Dict[str, float]],
+             limit: int = 12) -> List[Dict[str, object]]:
+    ranked = sorted(op_totals.items(), key=lambda kv: -kv[1]["seconds"])
+    return [
+        {"op": op, "calls": int(info["calls"]),
+         "seconds": info["seconds"]}
+        for op, info in ranked[:limit]
+    ]
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a :func:`run_profile` report."""
+    lines = [
+        f"profile report — workload={report['workload']} "
+        f"(schema {report['schema']})",
+        "",
+        "train:",
+    ]
+    train = report["train"]
+    lines.append(
+        f"  {train['epochs']} epoch(s) in {train['total_seconds']:.2f}s "
+        f"({train['clips_per_s']:.1f} clips/s), "
+        f"final loss {train['final_loss']:.4f}"
+    )
+    total = max(train["total_seconds"], 1e-12)
+    for stage in ("forward", "backward", "optim"):
+        seconds = train[f"{stage}_seconds"]
+        lines.append(f"    {stage:<10} {seconds:8.3f}s "
+                     f"({seconds / total * 100:5.1f}%)")
+    for row in train["per_epoch"]:
+        lines.append(
+            f"    epoch {row['epoch']}: loss={row['train_loss']:.4f} "
+            f"lr={row['lr']:.2e} grad_norm={row['grad_norm']:.3f} "
+            f"({row['seconds']:.2f}s)"
+        )
+    extract = report["extract"]
+    lines += [
+        "",
+        "extract:",
+        f"  {extract['clips']} clips in {extract['total_seconds']:.3f}s "
+        f"— {extract['ms_per_clip']:.1f} ms/clip "
+        f"({extract['clips_per_s']:.1f} clips/s)",
+    ]
+    for stage in ("forward", "decode", "render"):
+        key = f"{stage}_seconds"
+        if key in extract:
+            lines.append(f"    {stage:<10} {extract[key]:8.3f}s")
+    data = report["data"]
+    lines += [
+        "",
+        "data:",
+        f"  {data['batches_served']} batches collated in "
+        f"{data['collate_seconds']:.3f}s "
+        f"({data['ms_per_batch']:.2f} ms/batch)",
+        "",
+        "inference (uninstrumented):",
+        f"  est {report['inference']['est_gflops']:.4g} GFLOPs/clip, "
+        f"{report['inference']['ms_per_clip']:.1f} ms/clip "
+        f"({report['inference']['clips_per_s']:.1f} clips/s)",
+        "",
+        "forward stage split (measured, spans):",
+    ]
+    for name, info in report["forward_stages"].items():
+        lines.append(f"  {name:<28} {info['ms_total']:9.2f} ms "
+                     f"x{info['calls']:<5d} ({info['share'] * 100:5.1f}%)")
+    lines += ["", "hottest autograd ops (inclusive):"]
+    for row in report["autograd_ops"]:
+        lines.append(f"  {row['op']:<16} {row['seconds']:9.4f}s "
+                     f"({row['calls']} calls)")
+    return "\n".join(lines)

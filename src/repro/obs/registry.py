@@ -1,0 +1,258 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+A metric *series* is identified by ``(name, labels)`` — the same name
+with different label values yields independent series, Prometheus-style::
+
+    metrics = get_registry()
+    metrics.counter("autograd.op.calls", op="matmul").inc()
+    metrics.histogram("span.seconds", name="train/forward").observe(dt)
+
+Series are created lazily on first access and cached, so hot paths can
+hold a direct reference to a :class:`Counter`/:class:`Histogram` and pay
+only an attribute bump per event.  :meth:`MetricsRegistry.reset` zeroes
+every series *in place* (cached handles stay valid); :meth:`clear`
+drops them entirely.
+
+Export formats: :meth:`snapshot` (plain dicts), :meth:`export_jsonl`
+(one JSON object per series per line) and :meth:`format_table`
+(human-readable, aligned columns).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds — log-spaced and tuned for
+#: wall-clock seconds from ~10µs ops up to ~10s stages.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0,
+    3.0, 10.0,
+)
+
+
+def _labelset(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, calls, items)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways (learning rate, queue depth)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Bucketed distribution of observations (latencies, sizes).
+
+    Tracks count / sum / min / max plus per-bucket counts against fixed
+    upper bounds; observations above the last bound land in the
+    overflow bucket (``+inf``).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "sum", "min", "max")
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or not bounds:
+            raise ValueError("bucket bounds must be non-empty and sorted")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                ("+inf" if i == len(self.bounds) else repr(self.bounds[i])): n
+                for i, n in enumerate(self.bucket_counts) if n
+            },
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create store of metric series."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelSet], Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        key = (name, _labelset(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, dict(self._labelset_dict(key[1])),
+                                 **kwargs)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])!r} already registered as "
+                f"{metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    @staticmethod
+    def _labelset_dict(labelset: LabelSet) -> Dict[str, str]:
+        return dict(labelset)
+
+    # -- accessors -----------------------------------------------------
+    def counter(self, name: str, /, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, /,
+                  bounds: Optional[Sequence[float]] = None,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels,
+                         bounds=bounds or DEFAULT_BUCKETS)
+
+    # -- bulk operations -----------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def series(self) -> List[Metric]:
+        """All series, sorted by (name, labels)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Plain-data view of every series (JSON-serialisable)."""
+        return [
+            {"kind": m.kind, "name": m.name, "labels": dict(m.labels),
+             **m.snapshot()}
+            for m in self.series()
+        ]
+
+    def reset(self) -> None:
+        """Zero every series in place; cached handles stay valid."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop all series (cached handles detach from the registry)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export --------------------------------------------------------
+    def export_jsonl(self, path_or_file) -> int:
+        """Write one JSON object per series per line; returns the line
+        count.  Accepts a path or an open text file."""
+        rows = self.snapshot()
+        if hasattr(path_or_file, "write"):
+            for row in rows:
+                path_or_file.write(json.dumps(row) + "\n")
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                for row in rows:
+                    fh.write(json.dumps(row) + "\n")
+        return len(rows)
+
+    def format_table(self) -> str:
+        """Aligned human-readable dump of every series."""
+        header = ("kind", "name", "labels", "count", "total", "mean")
+        rows = []
+        for m in self.series():
+            labels = ",".join(f"{k}={v}" for k, v in sorted(m.labels.items()))
+            if isinstance(m, Histogram):
+                rows.append((m.kind, m.name, labels, str(m.count),
+                             f"{m.sum:.6g}", f"{m.mean:.6g}"))
+            else:
+                rows.append((m.kind, m.name, labels, "-",
+                             f"{m.value:.6g}", "-"))
+        widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+                  for i, h in enumerate(header)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)),
+                 "  ".join("-" * w for w in widths)]
+        lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+                  for row in rows]
+        return "\n".join(lines)
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _DEFAULT_REGISTRY

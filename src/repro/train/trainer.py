@@ -13,6 +13,7 @@ from repro.autograd.tensor import Tensor
 from repro.data.loader import DataLoader
 from repro.data.synthdrive import SynthDriveDataset
 from repro.nn.module import Module
+from repro.obs import get_logger, is_enabled, metrics, set_console, span
 from repro.optim import AdamW, CosineWithWarmup, clip_grad_norm
 from repro.sdl.codec import LabelCodec
 from repro.train.losses import MultiTaskLoss
@@ -43,12 +44,22 @@ class TrainConfig:
     monitor: str = "actions_macro_f1"
 
 
+LOGGER = get_logger("repro.train")
+
+
 @dataclass
 class EpochRecord:
     epoch: int
     train_loss: float
     val_metrics: Optional[Dict[str, float]]
     seconds: float
+    lr: float = 0.0
+    """Learning rate used by the epoch's final optimizer step."""
+    grad_norm: float = 0.0
+    """Mean post-clip global gradient norm across the epoch's batches."""
+    forward_seconds: float = 0.0
+    backward_seconds: float = 0.0
+    optim_seconds: float = 0.0
 
 
 class Trainer:
@@ -92,34 +103,63 @@ class Trainer:
         best_score = -np.inf
         best_state = None
         stale_epochs = 0
+        set_console(LOGGER, enabled=cfg.verbose)
         try:
             for epoch in range(cfg.epochs):
                 start = time.perf_counter()
                 self.model.train()
                 losses = []
-                for batch in loader:
-                    logits = self.model(Tensor(batch["video"]))
-                    total, _ = self.loss(logits, batch)
-                    optimizer.zero_grad()
-                    total.backward()
-                    clip_grad_norm(self.model.parameters(), cfg.clip_norm)
-                    optimizer.step()
-                    schedule.step()
-                    losses.append(float(total.item()))
-                val_metrics = (self.evaluate(val_set)
-                               if val_set is not None else None)
+                grad_norms = []
+                epoch_lr = cfg.lr
+                forward_s = backward_s = optim_s = 0.0
+                with span("train/epoch"):
+                    for batch in loader:
+                        t0 = time.perf_counter()
+                        with span("train/forward"):
+                            logits = self.model(Tensor(batch["video"]))
+                            total, _ = self.loss(logits, batch)
+                        t1 = time.perf_counter()
+                        optimizer.zero_grad()
+                        with span("train/backward"):
+                            total.backward()
+                        t2 = time.perf_counter()
+                        with span("train/optim"):
+                            pre_norm = clip_grad_norm(
+                                self.model.parameters(), cfg.clip_norm)
+                            epoch_lr = optimizer.lr
+                            optimizer.step()
+                            schedule.step()
+                        t3 = time.perf_counter()
+                        forward_s += t1 - t0
+                        backward_s += t2 - t1
+                        optim_s += t3 - t2
+                        grad_norms.append(min(pre_norm, cfg.clip_norm))
+                        losses.append(float(total.item()))
+                with span("train/evaluate"):
+                    val_metrics = (self.evaluate(val_set)
+                                   if val_set is not None else None)
                 record = EpochRecord(
                     epoch=epoch,
                     train_loss=float(np.mean(losses)) if losses else 0.0,
                     val_metrics=val_metrics,
                     seconds=time.perf_counter() - start,
+                    lr=float(epoch_lr),
+                    grad_norm=float(np.mean(grad_norms)) if grad_norms
+                    else 0.0,
+                    forward_seconds=forward_s,
+                    backward_seconds=backward_s,
+                    optim_seconds=optim_s,
                 )
                 self.history.append(record)
-                if cfg.verbose:
-                    extra = (f" val_macroF1={val_metrics['actions_macro_f1']:.3f}"
-                             if val_metrics else "")
-                    print(f"epoch {epoch}: loss={record.train_loss:.4f}"
-                          f" ({record.seconds:.1f}s){extra}")
+                if is_enabled():
+                    metrics.counter("train.epochs").inc()
+                    metrics.gauge("train.lr").set(record.lr)
+                    metrics.gauge("train.grad_norm").set(record.grad_norm)
+                    metrics.gauge("train.loss").set(record.train_loss)
+                extra = (f" val_macroF1={val_metrics['actions_macro_f1']:.3f}"
+                         if val_metrics else "")
+                LOGGER.info("epoch %d: loss=%.4f (%.1fs)%s", epoch,
+                            record.train_loss, record.seconds, extra)
                 if cfg.patience is not None:
                     score = val_metrics[cfg.monitor]
                     if score > best_score + 1e-9:
