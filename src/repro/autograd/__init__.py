@@ -12,6 +12,8 @@ Public surface:
 - :func:`no_grad` / :func:`is_grad_enabled` — graph-recording control.
 - ``repro.autograd.functional`` — activations, fused softmax/layer-norm,
   losses and structural ops (concat/stack/pad/where/...).
+- ``repro.autograd.fused`` — single-node fused kernels for the
+  transformer hot path (scaled-dot-product attention, linear+GELU).
 - :func:`gradcheck` — numerical gradient verification used by the tests.
 """
 
@@ -25,6 +27,7 @@ from repro.autograd.tensor import (
     zeros,
 )
 from repro.autograd import functional
+from repro.autograd import fused
 from repro.autograd.gradcheck import gradcheck
 
 __all__ = [
@@ -36,5 +39,6 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "functional",
+    "fused",
     "gradcheck",
 ]

@@ -11,9 +11,24 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, _coerce, _unbroadcast
+from repro.autograd.tensor import (
+    Tensor,
+    _coerce,
+    _unbroadcast,
+    is_grad_enabled,
+)
 
 SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def _recording(*tensors: Tensor) -> bool:
+    """True when an op over ``tensors`` must record the graph.
+
+    Checked *before* the backward closure is built so the grad-disabled
+    (inference) dispatch allocates neither closures nor parent tuples.
+    """
+    return is_grad_enabled() and any(t.requires_grad for t in tensors)
+
 
 #: Fused ops patched by ``repro.obs.instrument`` while telemetry is
 #: enabled (module-attribute access only — ``F.softmax(...)`` style,
@@ -30,6 +45,8 @@ PROFILED_FUNCTIONS = (
 # ----------------------------------------------------------------------
 def relu(x: Tensor) -> Tensor:
     data = np.maximum(x.data, 0.0)
+    if not _recording(x):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
@@ -41,14 +58,18 @@ def relu(x: Tensor) -> Tensor:
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation)."""
     v = x.data
-    inner = SQRT_2_OVER_PI * (v + 0.044715 * v ** 3)
+    # v*v*v, not v**3: np.power on non-square exponents is ~100x slower
+    # than repeated multiplication and this runs on every MLP forward.
+    inner = SQRT_2_OVER_PI * (v + 0.044715 * (v * v * v))
     t = np.tanh(inner)
     data = 0.5 * v * (1.0 + t)
+    if not _recording(x):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        dinner = SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * v ** 2)
+        dinner = SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * (v * v))
         dt = (1.0 - t * t) * dinner
         x._accumulate(g * (0.5 * (1.0 + t) + 0.5 * v * dt))
 
@@ -57,6 +78,8 @@ def gelu(x: Tensor) -> Tensor:
 
 def sigmoid(x: Tensor) -> Tensor:
     data = 1.0 / (1.0 + np.exp(-x.data))
+    if not _recording(x):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
@@ -76,6 +99,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     data = exp / exp.sum(axis=axis, keepdims=True)
+    if not _recording(x):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
@@ -89,6 +114,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     data = shifted - log_norm
+    if not _recording(x):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
@@ -106,6 +133,8 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     inv_std = 1.0 / np.sqrt(var + eps)
     x_hat = centered * inv_std
     data = x_hat * weight.data + bias.data
+    if not _recording(x, weight, bias):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         n = x.data.shape[-1]
@@ -131,6 +160,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+    if not _recording(*tensors):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
@@ -145,6 +176,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [_coerce(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
+    if not _recording(*tensors):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         slices = np.moveaxis(g, axis, 0)
@@ -196,6 +229,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     a_t, b_t = _coerce(a), _coerce(b)
     cond = np.asarray(condition, dtype=bool)
     data = np.where(cond, a_t.data, b_t.data)
+    if not _recording(a_t, b_t):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         if a_t.requires_grad:
@@ -213,6 +248,8 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
         return x
     keep = 1.0 - p
     mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    if not _recording(x):
+        return Tensor(x.data * mask)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
@@ -225,6 +262,8 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Row lookup ``weight[indices]`` with scatter-add backward."""
     idx = np.asarray(indices, dtype=np.int64)
     data = weight.data[idx]
+    if not _recording(weight):
+        return Tensor(data)
 
     def backward(g: np.ndarray) -> None:
         if weight.requires_grad:

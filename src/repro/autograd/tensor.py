@@ -159,6 +159,26 @@ class Tensor:
             out._backward = backward
         return out
 
+    @staticmethod
+    def _node(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Unconditionally record an op-result node.
+
+        Inference fast path: ops check ``_GRAD_ENABLED`` / parent
+        ``requires_grad`` *before* building the backward closure and
+        return a bare :class:`Tensor` when nothing records, so the
+        grad-disabled dispatch skips closure and parent bookkeeping
+        entirely.  Only reached when recording is known to be on.
+        """
+        out = Tensor(data)
+        out.requires_grad = True
+        out._parents = parents
+        out._backward = backward
+        return out
+
     def _accumulate(self, grad: np.ndarray) -> None:
         if grad.shape != self.data.shape:
             grad = _unbroadcast(grad, self.data.shape)
@@ -210,6 +230,9 @@ class Tensor:
     def __add__(self, other: TensorLike) -> "Tensor":
         other_t = _coerce(other)
         data = self.data + other_t.data
+        if not _GRAD_ENABLED or not (self.requires_grad
+                                     or other_t.requires_grad):
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -217,13 +240,16 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(g)
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._node(data, (self, other_t), backward)
 
     __radd__ = __add__
 
     def __mul__(self, other: TensorLike) -> "Tensor":
         other_t = _coerce(other)
         data = self.data * other_t.data
+        if not _GRAD_ENABLED or not (self.requires_grad
+                                     or other_t.requires_grad):
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -231,13 +257,16 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(g * self.data)
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._node(data, (self, other_t), backward)
 
     __rmul__ = __mul__
 
     def __sub__(self, other: TensorLike) -> "Tensor":
         other_t = _coerce(other)
         data = self.data - other_t.data
+        if not _GRAD_ENABLED or not (self.requires_grad
+                                     or other_t.requires_grad):
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -245,7 +274,7 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(-g)
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._node(data, (self, other_t), backward)
 
     def __rsub__(self, other: TensorLike) -> "Tensor":
         return _coerce(other).__sub__(self)
@@ -253,6 +282,9 @@ class Tensor:
     def __truediv__(self, other: TensorLike) -> "Tensor":
         other_t = _coerce(other)
         data = self.data / other_t.data
+        if not _GRAD_ENABLED or not (self.requires_grad
+                                     or other_t.requires_grad):
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -260,30 +292,34 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(-g * self.data / (other_t.data ** 2))
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._node(data, (self, other_t), backward)
 
     def __rtruediv__(self, other: TensorLike) -> "Tensor":
         return _coerce(other).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
         data = -self.data
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(-g)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def __pow__(self, exponent: Number) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         data = self.data ** exponent
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def __matmul__(self, other: TensorLike) -> "Tensor":
         other_t = _coerce(other)
@@ -291,6 +327,9 @@ class Tensor:
         if a.ndim < 2 or b.ndim < 2:
             raise ValueError("matmul requires operands with ndim >= 2")
         data = a @ b
+        if not _GRAD_ENABLED or not (self.requires_grad
+                                     or other_t.requires_grad):
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -300,13 +339,15 @@ class Tensor:
                 gb = a.swapaxes(-1, -2) @ g
                 other_t._accumulate(_unbroadcast(gb, b.shape))
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._node(data, (self, other_t), backward)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if not self.requires_grad:
@@ -316,7 +357,7 @@ class Tensor:
                 grad = np.expand_dims(grad, axis=axis)
             self._accumulate(np.broadcast_to(grad, self.data.shape))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else _axis_size(self.data.shape, axis)
@@ -324,6 +365,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if not self.requires_grad:
@@ -338,7 +381,7 @@ class Tensor:
                                else mask.sum(), 1.0)
             self._accumulate(mask * grad)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         mu = self.mean(axis=axis, keepdims=True)
@@ -351,12 +394,14 @@ class Tensor:
 
     def abs(self) -> "Tensor":
         data = np.abs(self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * np.sign(self.data))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     # ------------------------------------------------------------------
     # Shape ops
@@ -366,12 +411,14 @@ class Tensor:
             shape = tuple(shape[0])
         original = self.data.shape
         data = self.data.reshape(shape)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g.reshape(original))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -380,12 +427,14 @@ class Tensor:
             axes = tuple(reversed(range(self.data.ndim)))
         inverse = np.argsort(axes)
         data = self.data.transpose(axes)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g.transpose(inverse))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.data.ndim))
@@ -394,6 +443,8 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if not self.requires_grad:
@@ -402,56 +453,66 @@ class Tensor:
             np.add.at(grad, index, g)
             self._accumulate(grad)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     # ------------------------------------------------------------------
     # Elementwise math (graph-recording)
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * data)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g / self.data)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
         data = np.sqrt(self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * 0.5 / np.maximum(data, 1e-12))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * (1.0 - data * data))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
         data = np.clip(self.data, low, high)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
                 self._accumulate(g * mask)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
 
 def _coerce(value: TensorLike) -> Tensor:

@@ -41,7 +41,7 @@ def cmd_generate(args) -> int:
     config = SynthDriveConfig(num_clips=args.clips, frames=args.frames,
                               seed=args.seed, view=args.view,
                               ambient_traffic=args.ambient)
-    dataset = generate_dataset(config)
+    dataset = generate_dataset(config, workers=args.workers)
     dataset.save(args.out)
     print(f"wrote {len(dataset)} clips "
           f"({dataset.videos.shape[1:]} each) to {args.out}")
@@ -118,8 +118,17 @@ def cmd_mine(args) -> int:
 
 def cmd_profile(args) -> int:
     """``profile``: per-stage latency/throughput report of a short
-    train + extraction workload, JSON and human-readable."""
-    from repro.obs.profiler import format_report, run_profile
+    train + extraction workload, JSON and human-readable.
+
+    ``--compare BASELINE.json`` additionally prints per-stage speedup
+    against a saved report and exits non-zero when any checked stage is
+    more than ``--max-slowdown`` times slower — the CI perf gate."""
+    from repro.obs.profiler import (
+        compare_reports,
+        format_comparison,
+        format_report,
+        run_profile,
+    )
 
     report = run_profile(args.workload, seed=args.seed)
     if args.json:
@@ -130,6 +139,19 @@ def cmd_profile(args) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
         print(f"\nwrote JSON report to {args.out}")
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        comparison = compare_reports(report, baseline)
+        print()
+        print(format_comparison(comparison))
+        slow = [row for row in comparison["stages"]
+                if row["checked"] and row["speedup"] < 1.0 / args.max_slowdown]
+        if slow:
+            stages = ", ".join(row["stage"] for row in slow)
+            print(f"\nperf regression: {stages} slower than "
+                  f"{args.max_slowdown:.1f}x the baseline")
+            return 1
     return 0
 
 
@@ -156,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--view", choices=("bev", "camera"), default="bev")
     gen.add_argument("--ambient", type=int, default=0,
                      help="background vehicles per clip")
+    gen.add_argument("--workers", type=int, default=0,
+                     help="process-pool workers for clip generation "
+                          "(0/1 = serial; output is identical either way)")
     gen.add_argument("--out", required=True)
     gen.set_defaults(fn=cmd_generate)
 
@@ -196,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the JSON report to this path")
     profile.add_argument("--json", action="store_true",
                          help="print JSON instead of the table")
+    profile.add_argument("--compare", default="",
+                         help="baseline report JSON to diff against")
+    profile.add_argument("--max-slowdown", type=float, default=2.0,
+                         help="fail (exit 1) when a checked stage is this "
+                              "many times slower than the baseline")
     profile.set_defaults(fn=cmd_profile)
 
     mine = sub.add_parser(

@@ -42,15 +42,25 @@ class ScenarioExtractor:
         self.batch_size = batch_size
 
     # -- primitives -----------------------------------------------------
-    def logits(self, clips: np.ndarray) -> Dict[str, np.ndarray]:
-        """Batched no-grad logits for clips ``(N, T, C, H, W)``."""
+    def logits(self, clips: np.ndarray,
+               batch_size: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Batched no-grad logits for clips ``(N, T, C, H, W)``.
+
+        ``batch_size`` overrides the extractor's default for this call —
+        larger batches amortise per-forward Python dispatch (see
+        ``docs/performance.md``).
+        """
         if clips.ndim != 5:
             raise ValueError("expected (N, T, C, H, W) clips")
+        if batch_size is None:
+            batch_size = self.batch_size
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         self.model.eval()
         pieces: Dict[str, List[np.ndarray]] = {}
         with no_grad():
-            for start in range(0, len(clips), self.batch_size):
-                chunk = Tensor(clips[start:start + self.batch_size])
+            for start in range(0, len(clips), batch_size):
+                chunk = Tensor(clips[start:start + batch_size])
                 for key, value in self.model(chunk).items():
                     pieces.setdefault(key, []).append(value.data)
         return {k: np.concatenate(v) for k, v in pieces.items()}
@@ -76,11 +86,17 @@ class ScenarioExtractor:
         results = self.extract_batch(clip[None])
         return results[0]
 
-    def extract_batch(self, clips: np.ndarray) -> List[ExtractionResult]:
-        """Extract descriptions for ``(N, T, C, H, W)`` clips."""
+    def extract_batch(self, clips: np.ndarray,
+                      batch_size: Optional[int] = None
+                      ) -> List[ExtractionResult]:
+        """Extract descriptions for ``(N, T, C, H, W)`` clips.
+
+        All clips run through the model in ``batch_size`` chunks under
+        ``no_grad`` — substantially faster per clip than repeated
+        :meth:`extract` calls."""
         start = time.perf_counter()
         with span("pipeline/forward"):
-            logits = self.logits(clips)
+            logits = self.logits(clips, batch_size=batch_size)
         with span("pipeline/decode"):
             descriptions = self.codec.decode_batch(logits,
                                                    threshold=self.threshold)

@@ -184,21 +184,52 @@ def generate_clip(family: str, seed: int, config: SynthDriveConfig):
     return frames, description
 
 
-def generate_dataset(config: SynthDriveConfig) -> SynthDriveDataset:
-    """Generate a seeded, (by default) family-balanced dataset."""
+def _clip_task(task: Tuple[str, int, SynthDriveConfig]):
+    """Module-level worker for :func:`generate_dataset` (picklable)."""
+    family, clip_seed, config = task
+    return generate_clip(family, clip_seed, config)
+
+
+def _clip_plan(config: SynthDriveConfig) -> List[Tuple[str, int]]:
+    """The ``(family, seed)`` schedule for every clip.
+
+    Computed up front — independent of how the clips are later executed
+    — so serial and parallel generation are bit-identical by
+    construction: each clip's output depends only on its own
+    ``(family, seed, config)``.
+    """
     families = config.resolved_families()
     rng = np.random.default_rng(config.seed)
-    videos = []
-    descriptions = []
-    family_labels = []
+    plan = []
     for i in range(config.num_clips):
         if config.balanced:
             family = families[i % len(families)]
         else:
             family = families[int(rng.integers(len(families)))]
-        clip_seed = int(config.seed * 100_003 + i)
-        frames, description = generate_clip(family, clip_seed, config)
-        videos.append(frames)
-        descriptions.append(description)
-        family_labels.append(family)
-    return SynthDriveDataset(np.stack(videos), descriptions, family_labels)
+        plan.append((family, int(config.seed * 100_003 + i)))
+    return plan
+
+
+def generate_dataset(config: SynthDriveConfig,
+                     workers: int = 0) -> SynthDriveDataset:
+    """Generate a seeded, (by default) family-balanced dataset.
+
+    ``workers > 1`` fans clip generation out over a process pool;
+    because every clip is generated from a precomputed per-clip seed,
+    the result is bit-for-bit identical to the serial path (asserted by
+    ``tests/test_autograd_fused.py``).
+    """
+    plan = _clip_plan(config)
+    tasks = [(family, seed, config) for family, seed in plan]
+    if workers > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            clips = list(pool.map(_clip_task, tasks, chunksize=chunksize))
+    else:
+        clips = [_clip_task(task) for task in tasks]
+    videos = np.stack([frames for frames, _ in clips])
+    descriptions = [description for _, description in clips]
+    family_labels = [family for family, _ in plan]
+    return SynthDriveDataset(videos, descriptions, family_labels)

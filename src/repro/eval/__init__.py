@@ -19,7 +19,11 @@ from repro.eval.experiments import (
     run_table7_view_ablation,
     train_model,
 )
-from repro.eval.efficiency import estimate_flops, measure_throughput
+from repro.eval.efficiency import (
+    batch_scaling,
+    estimate_flops,
+    measure_throughput,
+)
 from repro.eval.formatting import format_figure_series, format_table
 
 __all__ = [
@@ -39,6 +43,7 @@ __all__ = [
     "run_fig6_localization",
     "run_fig7_traffic_density",
     "run_fig8_criticality",
+    "batch_scaling",
     "estimate_flops",
     "measure_throughput",
     "format_table",

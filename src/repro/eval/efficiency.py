@@ -106,6 +106,23 @@ def measure_throughput(model: Module, batch_size: int = 16,
     }
 
 
+def batch_scaling(model: Module, batch_sizes=(1, 4, 16),
+                  repeats: int = 2, seed: int = 0
+                  ) -> Dict[int, Dict[str, float]]:
+    """Inference throughput as a function of batch size.
+
+    Maps each batch size to its :func:`measure_throughput` dict —
+    the curve behind ``extract_batch``'s batching win: per-clip latency
+    falls as fixed per-forward Python dispatch amortises over more
+    clips (see ``docs/performance.md``).
+    """
+    return {
+        int(bs): measure_throughput(model, batch_size=int(bs),
+                                    repeats=repeats, seed=seed)
+        for bs in batch_sizes
+    }
+
+
 def measured_profile(model: Module, batch_size: int = 8,
                      repeats: int = 2, seed: int = 0,
                      autograd_ops: bool = False) -> Dict[str, object]:

@@ -2,17 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.autograd import functional as F
+from repro.autograd import fused
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
 from repro.obs import span
 
-NEG_INF = -1e9
+NEG_INF = fused.NEG_INF
 
 
 class MultiHeadAttention(Module):
@@ -21,6 +21,12 @@ class MultiHeadAttention(Module):
     Splits ``dim`` into ``num_heads`` heads, computes scaled dot-product
     attention per head, and projects back.  An optional boolean mask of
     shape ``(N, N)`` or ``(B, N, N)`` marks *allowed* attention pairs.
+
+    The attention core runs through the fused
+    :func:`~repro.autograd.fused.scaled_dot_product_attention` kernel —
+    one autograd node instead of ~10 — and masks are converted to
+    additive biases once per mask object via
+    :func:`~repro.autograd.fused.mask_bias`.
 
     ``name`` labels this instance in telemetry traces — the divided
     video transformer names its two attentions ``"temporal"`` and
@@ -47,27 +53,27 @@ class MultiHeadAttention(Module):
         with span(self.span_name):
             return self._attend(x, mask)
 
-    def _attend(self, x: Tensor, mask: Optional[np.ndarray]) -> Tensor:
-        batch, n_tokens, dim = x.shape
+    def _qkv(self, x: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        """Project to per-head queries/keys/values ``(B, H, N, hd)``.
+
+        The single helper both :meth:`forward` and
+        :meth:`attention_map` route through, so the two paths cannot
+        drift.
+        """
+        batch, n_tokens, _ = x.shape
         qkv = self.qkv(x)  # (B, N, 3D)
         qkv = qkv.reshape(batch, n_tokens, 3, self.num_heads, self.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, N, hd)
-        q, k, v = qkv[0], qkv[1], qkv[2]
+        return qkv[0], qkv[1], qkv[2]
 
-        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, H, N, N)
-        if mask is not None:
-            mask = np.asarray(mask, dtype=bool)
-            if mask.ndim == 2:
-                bias = np.where(mask, 0.0, NEG_INF).astype(np.float32)
-            elif mask.ndim == 3:
-                bias = np.where(mask[:, None], 0.0, NEG_INF).astype(np.float32)
-            else:
-                raise ValueError("mask must be (N, N) or (B, N, N)")
-            scores = scores + Tensor(bias)
-        attn = F.softmax(scores, axis=-1)
-        attn = self.attn_dropout(attn)
-        out = attn @ v  # (B, H, N, hd)
-        out = out.transpose(0, 2, 1, 3).reshape(batch, n_tokens, dim)
+    def _attend(self, x: Tensor, mask: Optional[np.ndarray]) -> Tensor:
+        q, k, v = self._qkv(x)
+        bias = fused.mask_bias(mask) if mask is not None else None
+        out = fused.scaled_dot_product_attention(
+            q, k, v, bias=bias, scale=self.scale,
+            dropout_p=self.attn_dropout.p, rng=self.attn_dropout.rng,
+            training=self.training, merge_heads=True,
+        )  # (B, N, D)
         return self.proj(out)
 
     def attention_map(self, x: Tensor) -> np.ndarray:
@@ -76,10 +82,8 @@ class MultiHeadAttention(Module):
         from repro.autograd import no_grad
 
         with no_grad():
-            batch, n_tokens, _ = x.shape
-            qkv = self.qkv(x).reshape(
-                batch, n_tokens, 3, self.num_heads, self.head_dim
-            ).transpose(2, 0, 3, 1, 4)
-            q, k = qkv[0], qkv[1]
-            scores = (q @ k.swapaxes(-1, -2)) * self.scale
-            return F.softmax(scores, axis=-1).data
+            q, k, v = self._qkv(x)
+            _, weights = fused.scaled_dot_product_attention(
+                q, k, v, scale=self.scale, return_weights=True,
+            )
+        return weights

@@ -6,26 +6,31 @@ from typing import Optional
 
 import numpy as np
 
+from repro.autograd import fused
 from repro.autograd.tensor import Tensor
 from repro.nn.attention import MultiHeadAttention
-from repro.nn.layers import Dropout, GELU, LayerNorm, Linear
+from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module, ModuleList
 
 
 class MLP(Module):
-    """Transformer feed-forward block: Linear → GELU → Dropout → Linear."""
+    """Transformer feed-forward block: Linear → GELU → Dropout → Linear.
+
+    The first Linear and the GELU run through the fused
+    :func:`~repro.autograd.fused.linear_gelu` kernel (one autograd node).
+    """
 
     def __init__(self, dim: int, hidden_dim: int, dropout: float = 0.0,
                  rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
         self.fc1 = Linear(dim, hidden_dim, rng=rng)
-        self.act = GELU()
         self.drop = Dropout(dropout, rng=rng)
         self.fc2 = Linear(hidden_dim, dim, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        return self.fc2(self.drop(self.act(self.fc1(x))))
+        hidden = fused.linear_gelu(x, self.fc1.weight, self.fc1.bias)
+        return self.fc2(self.drop(hidden))
 
 
 class TransformerEncoderLayer(Module):

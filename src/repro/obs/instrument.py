@@ -1,9 +1,11 @@
 """Patch-on-enable instrumentation of the autograd op-dispatch surface.
 
 :func:`install` replaces the hot :class:`~repro.autograd.tensor.Tensor`
-methods (named by ``tensor.PROFILED_OPS``) and the fused ops of
-``repro.autograd.functional`` (``PROFILED_FUNCTIONS``) with thin timed
-wrappers that bump ``autograd.op.calls{op=...}`` and observe
+methods (named by ``tensor.PROFILED_OPS``), the fused ops of
+``repro.autograd.functional`` (``PROFILED_FUNCTIONS``) and the fused
+attention/MLP kernels of ``repro.autograd.fused``
+(``PROFILED_KERNELS``) with thin timed wrappers that bump
+``autograd.op.calls{op=...}`` and observe
 ``autograd.op.seconds{op=...}`` in the default metrics registry.
 :func:`uninstall` restores the pristine originals, so with telemetry
 disabled the dispatch path is byte-for-byte the unpatched code — zero
@@ -64,7 +66,7 @@ def install(registry: Optional[MetricsRegistry] = None) -> None:
     registry = registry or get_registry()
     # Imported here so ``repro.obs`` stays importable on its own and the
     # autograd package never depends on obs.
-    from repro.autograd import functional
+    from repro.autograd import functional, fused
     from repro.autograd.tensor import PROFILED_OPS, Tensor
 
     for attr in PROFILED_OPS:
@@ -75,6 +77,10 @@ def install(registry: Optional[MetricsRegistry] = None) -> None:
         original = getattr(functional, attr)
         _SAVED.append((functional, attr, original))
         setattr(functional, attr, _wrap(original, attr, registry))
+    for attr, label in fused.PROFILED_KERNELS.items():
+        original = getattr(fused, attr)
+        _SAVED.append((fused, attr, original))
+        setattr(fused, attr, _wrap(original, label, registry))
     _INSTALLED = True
 
 

@@ -91,6 +91,23 @@ def run_profile(workload: str = "smoke", seed: int = 0) -> Dict[str, object]:
     stage_split = measured_profile(model,
                                    batch_size=int(spec["batch_size"]),
                                    repeats=2, seed=seed)
+    # Serial (one extract() call per clip) reference, also
+    # uninstrumented, to quantify the batching win of extract_batch.
+    n_serial = min(8, n_extract)
+    if n_serial:
+        from time import perf_counter
+
+        serial_start = perf_counter()
+        for clip in dataset.videos[:n_serial]:
+            extractor.extract(clip)
+        serial_seconds = perf_counter() - serial_start
+        extract_stats["serial_clips"] = n_serial
+        extract_stats["serial_ms_per_clip"] = serial_seconds / n_serial * 1e3
+        if extract_stats["ms_per_clip"] > 0:
+            extract_stats["batch_speedup"] = (
+                extract_stats["serial_ms_per_clip"]
+                / extract_stats["ms_per_clip"]
+            )
     obs.reset()
 
     train_seconds = sum(r.seconds for r in history)
@@ -169,6 +186,85 @@ def _top_ops(op_totals: Dict[str, Dict[str, float]],
     ]
 
 
+#: Stages diffed by :func:`compare_reports`: label → path into the
+#: report dict, with values in seconds (``*_ms`` paths are converted).
+_COMPARE_STAGES = (
+    ("train/forward", ("train", "forward_seconds"), 1.0),
+    ("train/backward", ("train", "backward_seconds"), 1.0),
+    ("train/optim", ("train", "optim_seconds"), 1.0),
+    ("train/total", ("train", "total_seconds"), 1.0),
+    ("extract/total", ("extract", "total_seconds"), 1.0),
+    ("data/collate", ("data", "collate_seconds"), 1.0),
+    ("inference/clip", ("inference", "ms_per_clip"), 1e-3),
+)
+
+
+def compare_reports(current: Dict[str, object],
+                    baseline: Dict[str, object],
+                    min_seconds: float = 1e-3) -> Dict[str, object]:
+    """Per-stage speedup of ``current`` over ``baseline``.
+
+    Returns ``{"stages": [...], "worst_slowdown": s, "best_speedup": s}``
+    where each stage row carries ``baseline_seconds``,
+    ``current_seconds``, ``speedup`` (baseline / current — >1 is
+    faster) and ``checked``.  Stages whose baseline ran under
+    ``min_seconds`` are reported but *unchecked*: micro-stage timings
+    are noise-dominated and must not fail a regression gate.
+    """
+    rows: List[Dict[str, object]] = []
+    checked_speedups: List[float] = []
+    for label, (section, key), unit in _COMPARE_STAGES:
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        if base is None or cur is None:
+            continue
+        base_s, cur_s = float(base) * unit, float(cur) * unit
+        checked = base_s >= min_seconds and cur_s > 0.0
+        speedup = base_s / cur_s if cur_s > 0 else float("inf")
+        rows.append({
+            "stage": label,
+            "baseline_seconds": base_s,
+            "current_seconds": cur_s,
+            "speedup": speedup,
+            "checked": checked,
+        })
+        if checked:
+            checked_speedups.append(speedup)
+    return {
+        "baseline_workload": baseline.get("workload"),
+        "current_workload": current.get("workload"),
+        "stages": rows,
+        "worst_slowdown": (1.0 / min(checked_speedups)
+                           if checked_speedups else 0.0),
+        "best_speedup": max(checked_speedups, default=0.0),
+    }
+
+
+def format_comparison(comparison: Dict[str, object]) -> str:
+    """Human-readable rendering of a :func:`compare_reports` result."""
+    lines = [
+        f"profile comparison — current workload="
+        f"{comparison['current_workload']} vs baseline workload="
+        f"{comparison['baseline_workload']}",
+        "",
+        f"  {'stage':<18} {'baseline':>10} {'current':>10} {'speedup':>9}",
+    ]
+    for row in comparison["stages"]:
+        note = "" if row["checked"] else "  (unchecked: baseline < floor)"
+        lines.append(
+            f"  {row['stage']:<18} {row['baseline_seconds'] * 1e3:9.1f}ms "
+            f"{row['current_seconds'] * 1e3:9.1f}ms "
+            f"{row['speedup']:8.2f}x{note}"
+        )
+    lines += [
+        "",
+        f"  best speedup {comparison['best_speedup']:.2f}x, "
+        f"worst slowdown {comparison['worst_slowdown']:.2f}x "
+        f"(checked stages only)",
+    ]
+    return "\n".join(lines)
+
+
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable rendering of a :func:`run_profile` report."""
     lines = [
@@ -206,6 +302,11 @@ def format_report(report: Dict[str, object]) -> str:
         key = f"{stage}_seconds"
         if key in extract:
             lines.append(f"    {stage:<10} {extract[key]:8.3f}s")
+    if "batch_speedup" in extract:
+        lines.append(
+            f"    serial reference {extract['serial_ms_per_clip']:.1f} "
+            f"ms/clip — batching is {extract['batch_speedup']:.1f}x faster"
+        )
     data = report["data"]
     lines += [
         "",

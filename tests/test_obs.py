@@ -232,6 +232,33 @@ class TestInstrumentation:
         assert Tensor.__matmul__ is wrapped  # not double-wrapped
         obs.disable()
 
+    def test_fused_kernels_counted(self):
+        from repro.autograd import fused, tensor
+
+        obs.enable()
+        rng = np.random.default_rng(0)
+        q, k, v = (tensor(rng.standard_normal((1, 2, 4, 3),
+                                              ).astype(np.float32))
+                   for _ in range(3))
+        w = tensor(rng.standard_normal((3, 5)).astype(np.float32))
+        fused.scaled_dot_product_attention(q, k, v)
+        fused.linear_gelu(q.reshape(8, 3), w)
+        totals = obs.instrument.op_totals()
+        assert totals["sdpa"]["calls"] == 1
+        assert totals["linear_gelu"]["calls"] == 1
+
+    def test_disable_restores_pristine_fused_kernels(self):
+        from repro.autograd import fused
+
+        originals = {attr: getattr(fused, attr)
+                     for attr in fused.PROFILED_KERNELS}
+        obs.enable()
+        assert fused.scaled_dot_product_attention is not \
+            originals["scaled_dot_product_attention"]
+        obs.disable()
+        for attr, original in originals.items():
+            assert getattr(fused, attr) is original, attr
+
 
 # ----------------------------------------------------------------------
 # Overhead guard
