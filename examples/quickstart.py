@@ -11,7 +11,7 @@ Takes ~1 minute on CPU.  Steps:
      the ground truth.
 """
 
-from repro.core import ScenarioExtractor
+from repro.api import load_extractor
 from repro.data import SynthDriveConfig, generate_dataset
 from repro.models import ModelConfig, build_model
 from repro.train import TrainConfig, Trainer
@@ -34,7 +34,7 @@ def main() -> None:
           {k: round(v, 3) for k, v in metrics.items()})
 
     print("3/3 extracting descriptions from 6 held-out clips ...\n")
-    extractor = ScenarioExtractor(model)
+    extractor = load_extractor(model=model)
     results = extractor.extract_batch(test_set.videos[:6])
     for i, result in enumerate(results):
         truth = test_set.descriptions[i]

@@ -9,7 +9,7 @@ Recall@1/5 and MRR, compared against a random-ranking floor.
 
 import numpy as np
 
-from repro.core import RetrievalIndex, ScenarioExtractor, retrieval_metrics
+from repro.api import RetrievalIndex, load_extractor, retrieval_metrics
 from repro.data import SynthDriveConfig, generate_dataset
 from repro.models import ModelConfig, build_model
 from repro.train import TrainConfig, Trainer
@@ -26,7 +26,7 @@ def main() -> None:
     trainer.fit(train_set)
 
     print("indexing extracted descriptions of the test corpus ...")
-    extractor = ScenarioExtractor(model)
+    extractor = load_extractor(model=model)
     extracted = [r.description
                  for r in extractor.extract_batch(test_set.videos)]
     index = RetrievalIndex()

@@ -13,7 +13,7 @@ the ego stops" over an unlabelled corpus.  We
      ground-truth scenario families.
 """
 
-from repro.core import ScenarioExtractor, ScenarioMiner
+from repro.api import ScenarioMiner, load_extractor
 from repro.data import SynthDriveConfig, generate_dataset
 from repro.models import ModelConfig, build_model
 from repro.train import TrainConfig, Trainer
@@ -45,7 +45,7 @@ def main() -> None:
     corpus = generate_dataset(SynthDriveConfig(num_clips=96, frames=8,
                                                seed=99))
 
-    miner = ScenarioMiner(ScenarioExtractor(model))
+    miner = ScenarioMiner(load_extractor(model=model))
     miner.index(corpus.videos)
     print(f"indexed {miner.size} clips by extracted description\n")
 

@@ -10,7 +10,7 @@ the "automated drive-log summarisation" use of the paper's system.
 
 import numpy as np
 
-from repro.core import ScenarioExtractor
+from repro.api import extract_video
 from repro.data import SynthDriveConfig, generate_dataset
 from repro.data.synthdrive import generate_clip
 from repro.models import ModelConfig, build_model
@@ -38,8 +38,7 @@ def main() -> None:
     drive = np.concatenate(segments, axis=0)
     print(f"drive video: {drive.shape[0]} frames\n")
 
-    extractor = ScenarioExtractor(model)
-    results = extractor.extract_sliding(drive, window=8, stride=4)
+    results = extract_video(model, drive, window=8, stride=4)
     print("scenario timeline:")
     for result in results:
         start, end = result.frame_range

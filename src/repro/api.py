@@ -1,0 +1,160 @@
+"""Stable public facade — the only import surface callers need.
+
+Notebooks, examples and downstream code use these functions instead of
+reaching into ``repro.core.*`` / ``repro.models.*`` internals, so those
+layers stay free to refactor::
+
+    import repro
+
+    extractor = repro.load_extractor("checkpoint.npz")
+    result = repro.extract_clip(extractor, clip)        # one clip
+    timeline = repro.extract_video(extractor, video, window=8, stride=4)
+    hits = repro.mine(extractor, corpus, ego_action="stop",
+                      actors={"pedestrian"})
+    ranked = repro.retrieve(extractor, corpus, query)
+
+Every entry point accepts a *source* that is either a ready
+:class:`~repro.core.pipeline.ScenarioExtractor`, a trained model
+(:class:`~repro.nn.Module`), or a path to a self-describing checkpoint
+(see :func:`repro.models.factory.load_model`); strings/paths are loaded
+on the fly.  For a long-lived concurrent deployment, wrap the extractor
+in :func:`serve` instead (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.mining import MiningHit, ScenarioMiner
+from repro.core.pipeline import ExtractionResult, ScenarioExtractor
+from repro.core.retrieval import RetrievalIndex, retrieval_metrics
+from repro.nn.module import Module
+from repro.sdl.codec import LabelCodec
+from repro.sdl.description import ScenarioDescription
+from repro.serve.client import ServiceClient
+from repro.serve.config import ServiceConfig
+from repro.serve.service import ExtractionService
+
+#: Anything the facade can turn into an extractor.
+ExtractorSource = Union[ScenarioExtractor, Module, str, "os.PathLike"]
+
+
+def load_extractor(checkpoint: Optional[ExtractorSource] = None, *,
+                   model: Optional[Module] = None,
+                   codec: Optional[LabelCodec] = None,
+                   threshold: float = 0.5,
+                   batch_size: int = 16) -> ScenarioExtractor:
+    """Build a ready-to-use extractor.
+
+    Pass a checkpoint path (the model architecture is reconstructed
+    from the checkpoint's own metadata — no shape flags), an already
+    constructed model via ``model=``, or an existing extractor (returned
+    as-is, ignoring the keyword knobs).
+    """
+    if (checkpoint is None) == (model is None):
+        raise ValueError("pass exactly one of checkpoint or model")
+    if isinstance(checkpoint, ScenarioExtractor):
+        return checkpoint
+    if isinstance(checkpoint, Module):
+        model = checkpoint
+    elif checkpoint is not None:
+        from repro.models.factory import load_model
+
+        model = load_model(os.fspath(checkpoint), codec=codec)
+    return ScenarioExtractor(model, codec=codec, threshold=threshold,
+                             batch_size=batch_size)
+
+
+def _as_extractor(source: ExtractorSource) -> ScenarioExtractor:
+    if isinstance(source, ScenarioExtractor):
+        return source
+    if isinstance(source, Module):
+        return load_extractor(model=source)
+    return load_extractor(source)
+
+
+def extract_clip(source: ExtractorSource,
+                 clip: np.ndarray) -> ExtractionResult:
+    """Scenario description of a single clip ``(T, C, H, W)``."""
+    return _as_extractor(source).extract(np.asarray(clip))
+
+
+def extract_video(source: ExtractorSource, video: np.ndarray,
+                  window: int, stride: int) -> List[ExtractionResult]:
+    """Sliding-window description timeline over a long video
+    ``(T, C, H, W)`` — one result per window with its frame range."""
+    return _as_extractor(source).extract_sliding(np.asarray(video),
+                                                 window=window,
+                                                 stride=stride)
+
+
+def mine(source: ExtractorSource, clips: np.ndarray,
+         query: Optional[ScenarioDescription] = None,
+         top_k: int = 5, min_score: float = 0.0,
+         **tags) -> List[MiningHit]:
+    """Search a corpus ``(N, T, C, H, W)`` for a scenario.
+
+    The query is either a full :class:`ScenarioDescription` or keyword
+    tags (``ego_action="stop"``, ``actors={"pedestrian"}`` ...).  Clips
+    are ranked by SDL similarity between the query and each clip's
+    *extracted* description.
+    """
+    extractor = _as_extractor(source)
+    miner = ScenarioMiner(extractor)
+    miner.index(np.asarray(clips))
+    if query is not None:
+        if tags:
+            raise ValueError("pass either query or tags, not both")
+        return miner.query(query, top_k=top_k, min_score=min_score)
+    return miner.query_tags(top_k=top_k, **tags)
+
+
+def retrieve(source: ExtractorSource, clips: np.ndarray,
+             query: ScenarioDescription, top_k: int = 5) -> List[int]:
+    """Text→video retrieval: clip indices of ``(N, T, C, H, W)`` ranked
+    by SDL-embedding similarity between ``query`` and each clip's
+    extracted description."""
+    extractor = _as_extractor(source)
+    index = RetrievalIndex()
+    index.add_batch([r.description
+                     for r in extractor.extract_batch(np.asarray(clips))])
+    return index.query(query, top_k=top_k)
+
+
+def serve(source: ExtractorSource,
+          config: Optional[ServiceConfig] = None,
+          **config_kwargs) -> ExtractionService:
+    """A started :class:`ExtractionService` over ``source``.
+
+    Keyword arguments are :class:`ServiceConfig` fields (``max_batch``,
+    ``max_wait_s``, ``max_queue`` ...).  Use as a context manager or
+    call ``.stop()``; pair with :class:`ServiceClient` for bursts.
+    """
+    if config is not None and config_kwargs:
+        raise ValueError("pass either config or keyword fields, not both")
+    if config is None:
+        config = ServiceConfig(**config_kwargs)
+    return ExtractionService(_as_extractor(source), config).start()
+
+
+__all__ = [
+    "ExtractionResult",
+    "ExtractionService",
+    "MiningHit",
+    "RetrievalIndex",
+    "ScenarioDescription",
+    "ScenarioExtractor",
+    "ScenarioMiner",
+    "ServiceClient",
+    "ServiceConfig",
+    "extract_clip",
+    "extract_video",
+    "load_extractor",
+    "mine",
+    "retrieve",
+    "retrieval_metrics",
+    "serve",
+]

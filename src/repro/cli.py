@@ -7,8 +7,18 @@ Commands
 - ``extract`` — run a trained model over a dataset and print sentences.
 - ``evaluate`` — full SDL metric suite of a checkpoint on a dataset.
 - ``mine`` — export a corpus to JSONL, ranked by criticality.
+- ``serve`` — run the fault-tolerant micro-batching extraction service
+  against a dataset burst and report per-status accounting
+  (see ``docs/serving.md``).
 - ``profile`` — run a short train + extraction workload under telemetry
   and report per-stage latency/throughput (see ``docs/observability.md``).
+
+Checkpoints are self-describing (``repro.checkpoint/v1``): ``extract``,
+``evaluate``, ``mine`` and ``serve`` rebuild the model from checkpoint
+metadata alone.  The ``--model/--dim/--depth/--heads`` flags remain as
+deprecated overrides for those commands — validated against the
+metadata when both are present — and still define the architecture for
+legacy weights-only checkpoints.
 """
 
 from __future__ import annotations
@@ -16,19 +26,49 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 
 from repro.core import ScenarioExtractor
 from repro.data import SynthDriveConfig, SynthDriveDataset, generate_dataset
 from repro.models import MODEL_REGISTRY, ModelConfig, build_model
 from repro.train import TrainConfig, Trainer
 
+#: Historical architecture defaults, applied only to legacy checkpoints
+#: saved before checkpoint metadata existed.
+_LEGACY_DEFAULTS = {"model": "vt-divided", "dim": 48, "depth": 2,
+                    "heads": 4}
 
-def _add_model_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", default="vt-divided",
-                        choices=sorted(MODEL_REGISTRY))
-    parser.add_argument("--dim", type=int, default=48)
-    parser.add_argument("--depth", type=int, default=2)
-    parser.add_argument("--heads", type=int, default=4)
+
+def _add_model_args(parser: argparse.ArgumentParser,
+                    for_training: bool = False) -> None:
+    """Model-shape flags.
+
+    For ``train`` they define the architecture (with defaults).  For
+    checkpoint-consuming commands they default to ``None``: the
+    checkpoint's own metadata wins, and explicit values are deprecated,
+    validated overrides.
+    """
+    if for_training:
+        parser.add_argument("--model", default=_LEGACY_DEFAULTS["model"],
+                            choices=sorted(MODEL_REGISTRY))
+        parser.add_argument("--dim", type=int,
+                            default=_LEGACY_DEFAULTS["dim"])
+        parser.add_argument("--depth", type=int,
+                            default=_LEGACY_DEFAULTS["depth"])
+        parser.add_argument("--heads", type=int,
+                            default=_LEGACY_DEFAULTS["heads"])
+        return
+    help_suffix = ("(deprecated: self-describing checkpoints make this "
+                   "unnecessary; validated against metadata if given)")
+    parser.add_argument("--model", default=None,
+                        choices=sorted(MODEL_REGISTRY),
+                        help=f"model family {help_suffix}")
+    parser.add_argument("--dim", type=int, default=None,
+                        help=f"embedding dim {help_suffix}")
+    parser.add_argument("--depth", type=int, default=None,
+                        help=f"encoder depth {help_suffix}")
+    parser.add_argument("--heads", type=int, default=None,
+                        help=f"attention heads {help_suffix}")
 
 
 def _model_config(args, frames: int) -> ModelConfig:
@@ -69,7 +109,49 @@ def cmd_train(args) -> int:
 
 
 def _load_model(args, frames: int):
-    model = build_model(args.model, _model_config(args, frames))
+    """Rebuild the checkpointed model, preferring checkpoint metadata.
+
+    Self-describing checkpoints need no flags; explicit flags are
+    deprecation-warned and must agree with the metadata.  Legacy
+    weights-only checkpoints fall back to the flags (or their historical
+    defaults)."""
+    from repro.models.factory import load_model
+    from repro.nn.module import read_checkpoint_meta
+
+    meta = read_checkpoint_meta(args.checkpoint)
+    overrides = {name: value for name, value in
+                 (("model", args.model), ("dim", args.dim),
+                  ("depth", args.depth), ("heads", args.heads))
+                 if value is not None}
+    if meta is not None and "model" in meta:
+        if overrides:
+            warnings.warn(
+                "--model/--dim/--depth/--heads are deprecated for "
+                "self-describing checkpoints; the checkpoint metadata "
+                "defines the architecture",
+                DeprecationWarning, stacklevel=2,
+            )
+            config = meta.get("config", {})
+            expected = {"model": meta["model"], "dim": config.get("dim"),
+                        "depth": config.get("depth"),
+                        "heads": config.get("num_heads")}
+            conflicts = [
+                f"--{name}={value} but checkpoint has {expected[name]}"
+                for name, value in overrides.items()
+                if expected.get(name) is not None
+                and value != expected[name]
+            ]
+            if conflicts:
+                print("error: model flags conflict with checkpoint "
+                      "metadata: " + "; ".join(conflicts),
+                      file=sys.stderr)
+                raise SystemExit(2)
+        return load_model(args.checkpoint)
+    settings = dict(_LEGACY_DEFAULTS, **overrides)
+    config = ModelConfig(frames=frames, dim=settings["dim"],
+                         depth=settings["depth"],
+                         num_heads=settings["heads"], seed=args.seed)
+    model = build_model(settings["model"], config)
     model.load(args.checkpoint)
     return model
 
@@ -114,6 +196,106 @@ def cmd_mine(args) -> int:
         print(f"  clip {record['clip_id']:3d} "
               f"crit={record['criticality']:.3f} {record['sentence']}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """``serve``: run the extraction service against a request burst.
+
+    Loads a checkpoint, starts the micro-batching service, drives
+    ``--requests`` concurrent extractions from the dataset through a
+    :class:`~repro.serve.client.ServiceClient`, and prints the
+    per-status accounting plus batching/latency metrics.  Optional
+    ``--inject-*`` flags exercise the retry / shedding / degradation
+    paths.  Exit code 0 when every request produced a result (primary
+    or degraded); 1 otherwise unless ``--allow-failures``.
+    """
+    import time
+    from collections import Counter
+
+    from repro.obs import metrics
+    from repro.serve import (
+        BATCH_SIZE_BUCKETS,
+        ExtractionService,
+        FaultInjector,
+        ServiceClient,
+        ServiceConfig,
+    )
+
+    dataset = SynthDriveDataset.load(args.data)
+    model = _load_model(args, dataset.videos.shape[1])
+    extractor = ScenarioExtractor(model, threshold=args.threshold)
+    config = ServiceConfig(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        max_queue=args.max_queue,
+        default_timeout_s=args.timeout,
+        max_retries=args.max_retries,
+    )
+    injector = None
+    if (args.inject_failure_rate > 0
+            or (args.inject_latency_ms > 0 and args.inject_latency_rate > 0)):
+        injector = FaultInjector(
+            failure_rate=args.inject_failure_rate,
+            latency_s=args.inject_latency_ms / 1000.0,
+            latency_rate=args.inject_latency_rate,
+            seed=args.seed,
+        )
+    service = ExtractionService(extractor, config, fault_injector=injector)
+    clips = [dataset.videos[i % len(dataset.videos)]
+             for i in range(args.requests)]
+    with service:
+        client = ServiceClient(service)
+        start = time.perf_counter()
+        results = client.extract_many(clips, concurrency=args.concurrency,
+                                      timeout=args.timeout)
+        elapsed = time.perf_counter() - start
+        health = service.health()
+
+    counts = Counter(r.status for r in results)
+    served = sum(1 for r in results if r.ok)
+    batch_hist = metrics.histogram("serve.batch_size",
+                                   bounds=BATCH_SIZE_BUCKETS)
+    summary = {
+        "schema": "repro.serve/v1",
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "elapsed_s": elapsed,
+        "served_clips_per_s": served / elapsed if elapsed > 0 else 0.0,
+        "statuses": {status: counts.get(status, 0)
+                     for status in ("ok", "degraded", "shed", "timeout",
+                                    "error")},
+        "silent_failures": args.requests - sum(counts.values()),
+        "retried_requests": sum(1 for r in results if r.retries > 0),
+        "batches": {
+            "count": batch_hist.count,
+            "mean_size": batch_hist.mean,
+            "max_size": batch_hist.max if batch_hist.count else 0.0,
+        },
+        "health": health,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"served {args.requests} requests in {elapsed:.2f}s "
+              f"({summary['served_clips_per_s']:.1f} ok-clips/s, "
+              f"concurrency {args.concurrency})")
+        for status, n in summary["statuses"].items():
+            if n:
+                print(f"  {status:9s} {n}")
+        print(f"  batches: {batch_hist.count} "
+              f"(mean size {batch_hist.mean:.1f}, "
+              f"max {summary['batches']['max_size']:.0f})")
+        print(f"  breaker: {health['breaker']}, "
+              f"model v{health['model_version']}")
+    if args.metrics_out:
+        n = metrics.export_jsonl(args.metrics_out)
+        print(f"wrote {n} metric series to {args.metrics_out}",
+              file=sys.stderr)
+    accounted = summary["silent_failures"] == 0
+    all_served = served == args.requests
+    if not accounted:
+        return 1
+    return 0 if all_served or args.allow_failures else 1
 
 
 def cmd_profile(args) -> int:
@@ -190,7 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=20)
     train.add_argument("--batch-size", type=int, default=16)
     train.add_argument("--lr", type=float, default=3e-3)
-    _add_model_args(train)
+    _add_model_args(train, for_training=True)
     train.set_defaults(fn=cmd_train)
 
     extract = sub.add_parser("extract", help="extract descriptions")
@@ -211,6 +393,40 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="dataset label statistics")
     stats.add_argument("--data", required=True)
     stats.set_defaults(fn=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run the micro-batching extraction service "
+                      "against a concurrent request burst"
+    )
+    serve.add_argument("--data", required=True)
+    serve.add_argument("--checkpoint", required=True)
+    serve.add_argument("--threshold", type=float, default=0.5)
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument("--concurrency", type=int, default=8)
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="micro-batch flush deadline")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission limit; beyond it requests are shed")
+    serve.add_argument("--timeout", type=float, default=10.0,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--max-retries", type=int, default=2)
+    serve.add_argument("--inject-failure-rate", type=float, default=0.0,
+                       help="fault injection: probability a primary "
+                            "batch attempt fails")
+    serve.add_argument("--inject-latency-ms", type=float, default=0.0,
+                       help="fault injection: latency spike duration")
+    serve.add_argument("--inject-latency-rate", type=float, default=0.0,
+                       help="fault injection: probability of a spike")
+    serve.add_argument("--json", action="store_true",
+                       help="print a JSON summary instead of text")
+    serve.add_argument("--metrics-out", default="",
+                       help="also export the metrics registry as JSONL")
+    serve.add_argument("--allow-failures", action="store_true",
+                       help="exit 0 as long as every request is "
+                            "accounted for (e.g. under fault injection)")
+    _add_model_args(serve)
+    serve.set_defaults(fn=cmd_serve)
 
     profile = sub.add_parser(
         "profile", help="per-stage latency/throughput report"

@@ -56,6 +56,10 @@ class ScenarioExtractor:
             batch_size = self.batch_size
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if len(clips) == 0:
+            sizes = self.codec.head_sizes
+            return {k: np.zeros((0, n), dtype=np.float32)
+                    for k, n in sizes.items()}
         self.model.eval()
         pieces: Dict[str, List[np.ndarray]] = {}
         with no_grad():
@@ -77,6 +81,16 @@ class ScenarioExtractor:
                 _sigmoid(logits["actor_actions"][index]).max(initial=0.0)
             ),
         }
+
+    def clone_with_model(self, model: Module) -> "ScenarioExtractor":
+        """A new extractor on ``model`` keeping codec/threshold/batching.
+
+        Used by the serving layer's checkpoint hot-reload: the swapped-in
+        extractor inherits every decoding knob, so only the weights
+        change."""
+        return ScenarioExtractor(model, codec=self.codec,
+                                 threshold=self.threshold,
+                                 batch_size=self.batch_size)
 
     # -- public API -------------------------------------------------------
     def extract(self, clip: np.ndarray) -> ExtractionResult:

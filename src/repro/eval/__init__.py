@@ -23,6 +23,7 @@ from repro.eval.efficiency import (
     batch_scaling,
     estimate_flops,
     measure_throughput,
+    service_scaling,
 )
 from repro.eval.formatting import format_figure_series, format_table
 
@@ -46,6 +47,7 @@ __all__ = [
     "batch_scaling",
     "estimate_flops",
     "measure_throughput",
+    "service_scaling",
     "format_table",
     "format_figure_series",
 ]

@@ -123,6 +123,81 @@ def batch_scaling(model: Module, batch_sizes=(1, 4, 16),
     }
 
 
+def service_scaling(model: Module, requests: int = 32,
+                    concurrency=(1, 4, 8), max_batch: int = 8,
+                    max_wait_s: float = 0.002,
+                    seed: int = 0) -> Dict[str, object]:
+    """Served throughput/latency as a function of caller concurrency.
+
+    Compares the serving stack (micro-batched
+    :class:`~repro.serve.service.ExtractionService` behind concurrent
+    :class:`~repro.serve.client.ServiceClient` callers) against serial
+    one-clip-at-a-time ``extract`` — the extraction-as-a-service
+    counterpart of :func:`batch_scaling`.  At concurrency 1 the service
+    adds queue/handoff overhead; as concurrency grows the micro-batcher
+    coalesces requests and per-clip latency approaches the batched
+    floor.
+
+    Returns ``{"serial": {...}, "service": {level: {...}}}`` where each
+    entry reports ``clips_per_s`` / ``ms_per_clip`` (and per-level
+    ``mean_batch_size`` plus latency percentiles for the service).
+    """
+    from repro.core.pipeline import ScenarioExtractor
+    from repro.serve import (
+        BATCH_SIZE_BUCKETS,
+        ExtractionService,
+        ServiceClient,
+        ServiceConfig,
+    )
+
+    cfg: ModelConfig = model.config
+    rng = np.random.default_rng(seed)
+    clips = rng.random(
+        (requests, cfg.frames, cfg.channels, cfg.height, cfg.width)
+    ).astype(np.float32)
+    extractor = ScenarioExtractor(model)
+    extractor.extract(clips[0])  # warm-up
+
+    start = time.perf_counter()
+    for clip in clips:
+        extractor.extract(clip)
+    serial_elapsed = time.perf_counter() - start
+    serial = {
+        "clips_per_s": requests / serial_elapsed,
+        "ms_per_clip": serial_elapsed / requests * 1000.0,
+    }
+
+    from repro.obs import metrics
+
+    per_level: Dict[int, Dict[str, float]] = {}
+    for level in concurrency:
+        batch_hist = metrics.histogram("serve.batch_size",
+                                       bounds=BATCH_SIZE_BUCKETS)
+        batches_before = batch_hist.count
+        size_before = batch_hist.sum
+        config = ServiceConfig(max_batch=max_batch,
+                               max_wait_s=max_wait_s,
+                               max_queue=max(requests, 1))
+        with ExtractionService(extractor, config) as service:
+            client = ServiceClient(service)
+            start = time.perf_counter()
+            results = client.extract_many(list(clips),
+                                          concurrency=int(level))
+            elapsed = time.perf_counter() - start
+        latencies = sorted(r.latency_s for r in results)
+        batches = batch_hist.count - batches_before
+        per_level[int(level)] = {
+            "clips_per_s": requests / elapsed,
+            "ms_per_clip": elapsed / requests * 1000.0,
+            "p50_latency_ms": latencies[len(latencies) // 2] * 1000.0,
+            "p95_latency_ms":
+                latencies[int(0.95 * (len(latencies) - 1))] * 1000.0,
+            "mean_batch_size": ((batch_hist.sum - size_before) / batches
+                                if batches else 0.0),
+        }
+    return {"serial": serial, "service": per_level}
+
+
 def measured_profile(model: Module, batch_size: int = 8,
                      repeats: int = 2, seed: int = 0,
                      autograd_ops: bool = False) -> Dict[str, object]:

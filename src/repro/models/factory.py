@@ -1,4 +1,4 @@
-"""Model registry used by the benchmarks and examples."""
+"""Model registry used by the benchmarks, CLI, service and examples."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ from repro.models.baselines import C3D, FrameDiffMLP, PerFrameViT
 from repro.models.config import ModelConfig
 from repro.models.video_transformer import VideoTransformer
 from repro.nn import Module
+from repro.nn.module import read_checkpoint_meta
 from repro.sdl.codec import LabelCodec
 
 MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
@@ -24,9 +25,48 @@ MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
 
 def build_model(name: str, config: Optional[ModelConfig] = None,
                 codec: Optional[LabelCodec] = None) -> Module:
-    """Instantiate a registered model by name."""
+    """Instantiate a registered model by name.
+
+    The registry name is stamped onto the instance (``registry_name``)
+    so checkpoints saved from it are self-describing (see
+    :func:`load_model`).
+    """
     if name not in MODEL_REGISTRY:
         raise KeyError(
             f"unknown model {name!r}; choose from {sorted(MODEL_REGISTRY)}"
         )
-    return MODEL_REGISTRY[name](config or ModelConfig(), codec or LabelCodec())
+    model = MODEL_REGISTRY[name](config or ModelConfig(),
+                                 codec or LabelCodec())
+    model.registry_name = name
+    return model
+
+
+def load_model(path: str, codec: Optional[LabelCodec] = None) -> Module:
+    """Reconstruct a model from a self-describing checkpoint alone.
+
+    Reads the metadata written by :meth:`repro.nn.Module.save` — registry
+    name and ``ModelConfig`` fields — rebuilds the architecture, verifies
+    the label-vocabulary hash, and loads the weights.  No model-shape
+    flags needed.  Raises ``ValueError`` for legacy weights-only
+    checkpoints (rebuild those explicitly with :func:`build_model` +
+    ``Module.load``) and for vocabulary mismatches.
+    """
+    meta = read_checkpoint_meta(path)
+    if meta is None or "model" not in meta or "config" not in meta:
+        raise ValueError(
+            f"checkpoint {path!r} has no self-describing metadata; "
+            "it predates repro.checkpoint/v1 — rebuild the model with "
+            "build_model(name, config) and call model.load(path)"
+        )
+    config = ModelConfig(**meta["config"])
+    model = build_model(str(meta["model"]), config, codec)
+    expected = meta.get("vocab_hash")
+    actual = model.head.codec.vocab.content_hash
+    if expected is not None and expected != actual:
+        raise ValueError(
+            f"checkpoint {path!r} was trained against label vocabulary "
+            f"{expected}, but the current vocabulary hashes to {actual}; "
+            "decoding would silently permute labels"
+        )
+    model.load(path)
+    return model

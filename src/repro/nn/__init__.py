@@ -4,7 +4,15 @@ Provides a compact PyTorch-like module system plus the specific layers
 needed by video transformers and convolutional baselines.
 """
 
-from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.module import (
+    CHECKPOINT_META_KEY,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    checkpoint_path,
+    read_checkpoint_meta,
+)
 from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Tanh
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.transformer import MLP, TransformerEncoder, TransformerEncoderLayer
@@ -13,6 +21,9 @@ from repro.nn.conv import Conv2d, Conv3d, MaxPool2d, MaxPool3d
 from repro.nn import init
 
 __all__ = [
+    "CHECKPOINT_META_KEY",
+    "checkpoint_path",
+    "read_checkpoint_meta",
     "Module",
     "ModuleList",
     "Parameter",

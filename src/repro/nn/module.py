@@ -1,13 +1,49 @@
 """Minimal module system: parameter registration, train/eval mode,
-state-dict (de)serialisation."""
+state-dict (de)serialisation.
+
+Checkpoints are ``.npz`` archives of the state dict plus one JSON
+metadata entry (:data:`CHECKPOINT_META_KEY`) describing how to rebuild
+the model — its registry name, :class:`~repro.models.config.ModelConfig`
+fields and the label-vocabulary hash — so
+:func:`repro.models.factory.load_model` can reconstruct a model from the
+checkpoint alone.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+import dataclasses
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+
+#: Reserved archive entry holding the JSON checkpoint metadata.
+CHECKPOINT_META_KEY = "__checkpoint_meta__"
+
+#: Schema tag written into every checkpoint's metadata.
+CHECKPOINT_FORMAT = "repro.checkpoint/v1"
+
+
+def checkpoint_path(path: str) -> str:
+    """Normalise a checkpoint path to its on-disk ``.npz`` name.
+
+    ``np.savez`` silently appends ``.npz`` when the extension is
+    missing, so without this a ``save("model")`` / ``load("model")``
+    round-trip fails — both sides must normalise identically.
+    """
+    path = str(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def read_checkpoint_meta(path: str) -> Optional[Dict[str, object]]:
+    """The metadata dict of a checkpoint, or ``None`` for a legacy
+    weights-only archive."""
+    with np.load(checkpoint_path(path)) as archive:
+        if CHECKPOINT_META_KEY not in archive.files:
+            return None
+        return json.loads(str(archive[CHECKPOINT_META_KEY]))
 
 
 class Parameter(Tensor):
@@ -111,14 +147,48 @@ class Module:
                 )
             p.data[...] = value
 
+    def checkpoint_meta(self) -> Dict[str, object]:
+        """Self-description written alongside the weights by :meth:`save`.
+
+        Discovers what it can by duck typing so the base class stays
+        model-agnostic: a dataclass ``config`` attribute (the
+        ``ModelConfig``), the ``registry_name`` stamped by the model
+        factory, and the label vocabulary hash of ``head.codec``.
+        """
+        meta: Dict[str, object] = {
+            "format": CHECKPOINT_FORMAT,
+            "class": type(self).__name__,
+        }
+        config = getattr(self, "config", None)
+        if dataclasses.is_dataclass(config):
+            meta["config"] = dataclasses.asdict(config)
+        registry_name = getattr(self, "registry_name", None)
+        if registry_name:
+            meta["model"] = registry_name
+        codec = getattr(getattr(self, "head", None), "codec", None)
+        vocab_hash = getattr(getattr(codec, "vocab", None),
+                             "content_hash", None)
+        if vocab_hash:
+            meta["vocab_hash"] = vocab_hash
+        return meta
+
     def save(self, path: str) -> None:
-        """Save parameters to an ``.npz`` archive."""
-        np.savez(path, **self.state_dict())
+        """Save parameters (plus :meth:`checkpoint_meta`) to ``.npz``."""
+        arrays: Dict[str, np.ndarray] = dict(self.state_dict())
+        if CHECKPOINT_META_KEY in arrays:
+            raise ValueError(
+                f"parameter name {CHECKPOINT_META_KEY!r} is reserved"
+            )
+        arrays[CHECKPOINT_META_KEY] = np.array(
+            json.dumps(self.checkpoint_meta())
+        )
+        np.savez(checkpoint_path(path), **arrays)
 
     def load(self, path: str) -> None:
         """Load parameters from an ``.npz`` archive created by :meth:`save`."""
-        with np.load(path) as archive:
-            self.load_state_dict({k: archive[k] for k in archive.files})
+        with np.load(checkpoint_path(path)) as archive:
+            self.load_state_dict({k: archive[k] for k in archive.files
+                                  if k != CHECKPOINT_META_KEY})
 
 
 class ModuleList(Module):

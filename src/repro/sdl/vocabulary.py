@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -69,6 +71,25 @@ class Vocabulary:
     def total_tags(self) -> int:
         return (len(self.scenes) + len(self.actor_types)
                 + len(self.ego_actions) + len(self.actor_actions))
+
+    @property
+    def content_hash(self) -> str:
+        """Stable digest of the four tag sets (order-sensitive).
+
+        Checkpoints embed this so a model trained against one vocabulary
+        is never silently decoded with another (tag order defines the
+        label index space).
+        """
+        payload = json.dumps(
+            {
+                "scenes": list(self.scenes),
+                "actor_types": list(self.actor_types),
+                "ego_actions": list(self.ego_actions),
+                "actor_actions": list(self.actor_actions),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 DEFAULT_VOCABULARY = Vocabulary()

@@ -1,0 +1,41 @@
+"""repro.serve — fault-tolerant extraction service (``docs/serving.md``).
+
+A long-running, in-process service over
+:class:`~repro.core.pipeline.ScenarioExtractor`:
+
+- :class:`ExtractionService` — dynamic micro-batching worker with
+  per-request timeouts, bounded retry, load shedding, a circuit breaker
+  degrading to a cheap fallback model, and atomic checkpoint hot-reload;
+- :class:`ServiceClient` — the in-process caller API
+  (``extract`` / ``extract_many`` / ``mine`` / ``health``);
+- :class:`FaultInjector` — configurable failure/latency injection used
+  to prove the robustness paths (tests, ``repro serve --inject-*``).
+
+Exposed on the CLI as ``repro serve``.
+"""
+
+from repro.serve.client import ServiceClient
+from repro.serve.config import ServiceConfig
+from repro.serve.faults import FaultInjector, InjectedFault, TransientWorkerError
+from repro.serve.service import (
+    BATCH_SIZE_BUCKETS,
+    STATUSES,
+    CircuitBreaker,
+    ExtractionService,
+    RequestFuture,
+    ServeResult,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "STATUSES",
+    "CircuitBreaker",
+    "ExtractionService",
+    "FaultInjector",
+    "InjectedFault",
+    "RequestFuture",
+    "ServeResult",
+    "ServiceClient",
+    "ServiceConfig",
+    "TransientWorkerError",
+]

@@ -1,0 +1,91 @@
+"""In-process client for :class:`~repro.serve.service.ExtractionService`.
+
+Callers submit clips and receive :class:`~repro.serve.service.ServeResult`
+objects — never exceptions for service-side faults (sheds, timeouts,
+degradation all arrive as explicit statuses).  ``extract_many`` drives a
+concurrent burst through a thread pool, which is what gives the
+micro-batcher something to coalesce.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mining import MiningHit, ScenarioMiner
+from repro.serve.service import ExtractionService, ServeResult
+
+
+class ServiceClient:
+    """Thin convenience wrapper over a running service."""
+
+    def __init__(self, service: ExtractionService) -> None:
+        self.service = service
+
+    # -- single requests ----------------------------------------------
+    def extract(self, clip: np.ndarray,
+                timeout: Optional[float] = None) -> ServeResult:
+        """Extract one clip ``(T, C, H, W)``; blocks for the outcome."""
+        return self.service.extract(clip, timeout=timeout)
+
+    # -- bursts --------------------------------------------------------
+    def extract_many(self, clips: Sequence[np.ndarray],
+                     concurrency: int = 8,
+                     timeout: Optional[float] = None) -> List[ServeResult]:
+        """Submit ``clips`` concurrently; results in submission order.
+
+        ``concurrency`` caps the number of in-flight waits, emulating
+        that many independent callers.
+        """
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+
+        def one(clip: np.ndarray) -> ServeResult:
+            return self.service.submit(clip, timeout=timeout).result()
+
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            return list(pool.map(one, clips))
+
+    # -- mining over the service --------------------------------------
+    def mine(self, clips: np.ndarray, top_k: int = 5,
+             concurrency: int = 8, timeout: Optional[float] = None,
+             strict: bool = True, **tags) -> List[MiningHit]:
+        """Index a corpus via served extraction and answer a tag query.
+
+        With ``strict`` (default), any non-ok request raises — a mined
+        corpus with holes is silently wrong.  ``strict=False`` indexes
+        whatever succeeded (clip ids still match positions in
+        ``clips``: failed positions are skipped)."""
+        results = self.extract_many(list(clips), concurrency=concurrency,
+                                    timeout=timeout)
+        bad = [r for r in results if not r.ok]
+        if bad and strict:
+            statuses = sorted({r.status for r in bad})
+            raise RuntimeError(
+                f"{len(bad)}/{len(results)} requests failed "
+                f"(statuses: {statuses}); pass strict=False to mine "
+                "the successful subset"
+            )
+        miner = ScenarioMiner(self.service._primary)
+        descriptions = []
+        keep_ids = []
+        for i, r in enumerate(results):
+            if r.ok:
+                descriptions.append(r.result.description)
+                keep_ids.append(i)
+        miner.index_descriptions(descriptions)
+        hits = miner.query_tags(top_k=top_k, **tags)
+        return [
+            MiningHit(clip_id=keep_ids[h.clip_id], score=h.score,
+                      description=h.description, sentence=h.sentence)
+            for h in hits
+        ]
+
+    # -- probes --------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self.service.health()
+
+    def ready(self) -> bool:
+        return self.service.ready()

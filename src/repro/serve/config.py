@@ -1,0 +1,69 @@
+"""Configuration for the extraction service (see ``docs/serving.md``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of :class:`~repro.serve.service.ExtractionService`.
+
+    Batching
+    --------
+    The micro-batcher flushes on whichever comes first: ``max_batch``
+    queued requests, or ``max_wait_s`` after the oldest request in the
+    forming batch arrived.  Small ``max_wait_s`` bounds added latency
+    under light load; ``max_batch`` caps it under heavy load.
+
+    Robustness
+    ----------
+    ``max_queue`` is the admission limit — submissions beyond it are
+    shed immediately with an explicit ``"shed"`` response rather than
+    queued into unbounded latency.  Transient worker failures are
+    retried up to ``max_retries`` times with exponential backoff
+    starting at ``backoff_s``.  The circuit breaker trips after
+    ``breaker_failures`` consecutive worker failures, or when the p95
+    of the last ``breaker_window`` end-to-end request latencies exceeds
+    ``breaker_latency_budget_s`` (``None`` disables the latency trip);
+    while open, requests are served by the cheap fallback model
+    (flagged ``"degraded"``) and the primary is re-probed after
+    ``breaker_cooldown_s``.
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.005
+    max_queue: int = 64
+    default_timeout_s: float = 10.0
+    max_retries: int = 2
+    backoff_s: float = 0.002
+    backoff_multiplier: float = 2.0
+    breaker_failures: int = 3
+    breaker_latency_budget_s: Optional[float] = None
+    breaker_window: int = 32
+    breaker_min_samples: int = 8
+    breaker_cooldown_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.default_timeout_s <= 0:
+            raise ValueError("default_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_s < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("invalid backoff settings")
+        if self.breaker_failures <= 0:
+            raise ValueError("breaker_failures must be positive")
+        if (self.breaker_latency_budget_s is not None
+                and self.breaker_latency_budget_s <= 0):
+            raise ValueError("breaker_latency_budget_s must be positive")
+        if self.breaker_window <= 0 or self.breaker_min_samples <= 0:
+            raise ValueError("breaker window settings must be positive")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be non-negative")

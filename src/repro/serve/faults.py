@@ -1,0 +1,89 @@
+"""Worker fault model: transient-error taxonomy and fault injection.
+
+The service retries :class:`TransientWorkerError` (and nothing else);
+:class:`FaultInjector` raises its :class:`InjectedFault` subclass, so
+injected failures exercise exactly the production retry path.  The
+injector is the hook the tests (and ``repro serve --inject-*``) use to
+prove the retry / shedding / degradation machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+
+class TransientWorkerError(RuntimeError):
+    """A worker failure that is expected to clear on retry."""
+
+
+class InjectedFault(TransientWorkerError):
+    """A failure raised by :class:`FaultInjector`."""
+
+
+class FaultInjector:
+    """Deterministic, thread-safe failure/latency injection.
+
+    Called by the service worker once per primary-model batch attempt
+    (never for the degraded fallback).  Draws come from a seeded
+    generator, so a given (seed, call sequence) reproduces exactly.
+
+    Parameters
+    ----------
+    failure_rate:
+        Probability an attempt raises :class:`InjectedFault`.
+    latency_s / latency_rate:
+        With probability ``latency_rate``, sleep ``latency_s`` before
+        the attempt proceeds — a latency spike rather than an error.
+    max_failures:
+        Stop injecting failures after this many (``None`` = unlimited);
+        lets tests script "fail twice, then recover".
+    """
+
+    def __init__(self, failure_rate: float = 0.0, latency_s: float = 0.0,
+                 latency_rate: float = 0.0, seed: int = 0,
+                 max_failures: Optional[int] = None) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        if not 0.0 <= latency_rate <= 1.0:
+            raise ValueError("latency_rate must be in [0, 1]")
+        if latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        self.failure_rate = failure_rate
+        self.latency_s = latency_s
+        self.latency_rate = latency_rate
+        self.max_failures = max_failures
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.failures_injected = 0
+        self.spikes_injected = 0
+
+    def __call__(self, batch_size: int) -> None:
+        """Maybe sleep, maybe raise; invoked before a primary attempt."""
+        with self._lock:
+            self.calls += 1
+            spike = (self.latency_rate > 0.0
+                     and self._rng.random() < self.latency_rate)
+            exhausted = (self.max_failures is not None
+                         and self.failures_injected >= self.max_failures)
+            fail = (not exhausted and self.failure_rate > 0.0
+                    and self._rng.random() < self.failure_rate)
+            if spike:
+                self.spikes_injected += 1
+            if fail:
+                self.failures_injected += 1
+        if spike and self.latency_s > 0.0:
+            time.sleep(self.latency_s)
+        if fail:
+            raise InjectedFault(
+                f"injected worker fault (batch of {batch_size})"
+            )
+
+    def disable(self) -> None:
+        """Turn all injection off (e.g. to let a tripped breaker heal)."""
+        self.failure_rate = 0.0
+        self.latency_rate = 0.0

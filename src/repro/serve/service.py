@@ -1,0 +1,587 @@
+"""Fault-tolerant in-process extraction service with micro-batching.
+
+``ExtractionService`` accepts concurrent ``extract`` requests, coalesces
+them through a dynamic micro-batching queue (flush on ``max_batch`` or
+the ``max_wait_s`` deadline, whichever first) feeding
+:meth:`~repro.core.pipeline.ScenarioExtractor.extract_batch`, and wraps
+every request in robustness machinery:
+
+- per-request timeouts (client deadline, enforced at dequeue and wait);
+- bounded retry with exponential backoff for transient worker failures;
+- a queue-depth admission limit that sheds load with an explicit
+  ``"shed"`` response;
+- a circuit breaker that degrades to a cheap per-frame fallback model
+  when the primary repeatedly fails or blows its p95 latency budget;
+- atomic checkpoint hot-reload without dropping in-flight requests.
+
+Every request resolves to exactly one :class:`ServeResult` — there are
+no silent failures; the ``serve.*`` metrics in the ``repro.obs``
+registry account for each one.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.pipeline import ExtractionResult, ScenarioExtractor
+from repro.nn.module import Module
+from repro.obs import metrics, span
+from repro.serve.config import ServiceConfig
+from repro.serve.faults import FaultInjector, TransientWorkerError
+
+#: Bucket bounds for the ``serve.batch_size`` histogram (request counts,
+#: not seconds).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Every status a request can resolve to.
+STATUSES = ("ok", "degraded", "shed", "timeout", "error")
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The service's answer to one request — always delivered.
+
+    ``status`` is one of :data:`STATUSES`:
+
+    - ``"ok"`` — primary model, bit-identical to a direct
+      ``extract_batch`` call (``retries`` > 0 when transient failures
+      were retried away);
+    - ``"degraded"`` — served by the fallback model while the circuit
+      breaker was open; ``result`` is present but flagged;
+    - ``"shed"`` — rejected at admission (queue full), never queued;
+    - ``"timeout"`` — the per-request deadline expired first;
+    - ``"error"`` — a non-retryable failure; ``error`` has the message.
+    """
+
+    request_id: int
+    status: str
+    result: Optional[ExtractionResult] = None
+    retries: int = 0
+    batch_size: int = 0
+    latency_s: float = 0.0
+    model_version: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when a result was produced (primary or degraded)."""
+        return self.status in ("ok", "degraded")
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
+
+
+class _Request:
+    """Internal per-request state; resolution is first-writer-wins."""
+
+    __slots__ = ("request_id", "clip", "enqueued_at", "deadline",
+                 "retries", "_event", "_lock", "result")
+
+    def __init__(self, request_id: int, clip: np.ndarray,
+                 enqueued_at: float, deadline: float) -> None:
+        self.request_id = request_id
+        self.clip = clip
+        self.enqueued_at = enqueued_at
+        self.deadline = deadline
+        self.retries = 0
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self.result: Optional[ServeResult] = None
+
+    def try_resolve(self, result: ServeResult) -> bool:
+        """Install ``result`` unless already resolved; True if we won."""
+        with self._lock:
+            if self.result is not None:
+                return False
+            self.result = result
+        self._event.set()
+        return True
+
+    def wait(self, timeout: Optional[float]) -> bool:
+        return self._event.wait(timeout)
+
+
+class RequestFuture:
+    """Handle returned by :meth:`ExtractionService.submit`."""
+
+    def __init__(self, service: "ExtractionService",
+                 request: _Request) -> None:
+        self._service = service
+        self._request = request
+
+    @property
+    def request_id(self) -> int:
+        return self._request.request_id
+
+    def done(self) -> bool:
+        return self._request.result is not None
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """Block for the outcome; never raises for service-side faults.
+
+        Waits until the request's own deadline (plus a small grace for
+        an in-flight batch to land) or ``timeout``, whichever is
+        shorter, then resolves to ``"timeout"`` if the worker has not.
+        """
+        request = self._request
+        deadline_wait = max(0.0, request.deadline - time.monotonic()) + 0.05
+        wait = deadline_wait if timeout is None else min(timeout,
+                                                         deadline_wait)
+        while not request.wait(wait):
+            if time.monotonic() >= request.deadline:
+                self._service._resolve_timeout(request)
+                break
+            if timeout is not None:
+                break
+            wait = max(0.0, request.deadline - time.monotonic()) + 0.05
+        result = request.result
+        if result is None:
+            raise TimeoutError(
+                f"request {request.request_id} not resolved within wait"
+            )
+        return result
+
+
+class CircuitBreaker:
+    """Closed → open on repeated failure or blown p95 latency budget;
+    open → half-open probe after a cooldown; probe success closes."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self._config = config
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._latencies: deque = deque(maxlen=config.breaker_window)
+        self._gauge = metrics.gauge("serve.breaker_open")
+        self._trips = metrics.counter("serve.breaker_trips")
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow_primary(self) -> bool:
+        """Whether the next batch may try the primary model."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                cooled = (time.monotonic() - self._opened_at
+                          >= self._config.breaker_cooldown_s)
+                if cooled:
+                    self._state = "half-open"
+                    return True
+                return False
+            return True  # half-open: keep probing
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != "closed":
+                self._state = "closed"
+                self._latencies.clear()
+                self._gauge.set(0.0)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (self._state == "half-open"
+                       or self._consecutive_failures
+                       >= self._config.breaker_failures)
+            if tripped:
+                self._trip_locked()
+
+    def record_latency(self, seconds: float) -> None:
+        budget = self._config.breaker_latency_budget_s
+        with self._lock:
+            self._latencies.append(seconds)
+            if (budget is not None and self._state == "closed"
+                    and len(self._latencies)
+                    >= self._config.breaker_min_samples):
+                ordered = sorted(self._latencies)
+                p95 = ordered[int(0.95 * (len(ordered) - 1))]
+                if p95 > budget:
+                    self._trip_locked()
+
+    def reset(self) -> None:
+        """Back to closed (used after a checkpoint hot-reload)."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._latencies.clear()
+            self._gauge.set(0.0)
+
+    def _trip_locked(self) -> None:
+        self._state = "open"
+        self._opened_at = time.monotonic()
+        self._consecutive_failures = 0
+        self._gauge.set(1.0)
+        self._trips.inc()
+
+
+class ExtractionService:
+    """Long-running micro-batching front-end over a
+    :class:`ScenarioExtractor` (see module docstring).
+
+    Parameters
+    ----------
+    extractor:
+        The primary extractor (or bare model, which gets wrapped).
+    config:
+        Batching/robustness knobs; see :class:`ServiceConfig`.
+    fallback:
+        Extractor used while the circuit breaker is open.  Defaults to
+        a ``frame-mlp`` per-frame baseline built from the primary's
+        ``ModelConfig`` — cheap, always available, clearly flagged.
+    fault_injector:
+        Optional :class:`FaultInjector` applied to primary attempts.
+    """
+
+    def __init__(self, extractor: Union[ScenarioExtractor, Module],
+                 config: Optional[ServiceConfig] = None,
+                 fallback: Optional[Union[ScenarioExtractor,
+                                          Module]] = None,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
+        if isinstance(extractor, Module):
+            extractor = ScenarioExtractor(extractor)
+        self.config = config or ServiceConfig()
+        self._primary = extractor
+        self._model_lock = threading.Lock()
+        self._model_version = 1
+        model_cfg = extractor.model.config
+        self.clip_shape = (model_cfg.frames, model_cfg.channels,
+                           model_cfg.height, model_cfg.width)
+        if fallback is None:
+            from repro.models.factory import build_model
+
+            fallback = build_model("frame-mlp", model_cfg,
+                                   codec=extractor.codec)
+        if isinstance(fallback, Module):
+            fallback = extractor.clone_with_model(fallback)
+        self._fallback = fallback
+        self.fault_injector = fault_injector
+        self.breaker = CircuitBreaker(self.config)
+
+        self._queue: deque = deque()
+        self._queue_cond = threading.Condition()
+        self._running = False
+        self._draining = False
+        self._worker: Optional[threading.Thread] = None
+        self._started_at = 0.0
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        self._inflight = 0
+
+        self._status_counts: Dict[str, int] = {s: 0 for s in STATUSES}
+        self._counts_lock = threading.Lock()
+        self._retry_counter = metrics.counter("serve.retries")
+        self._reload_counter = metrics.counter("serve.reloads")
+        self._depth_gauge = metrics.gauge("serve.queue_depth")
+        self._batch_hist = metrics.histogram("serve.batch_size",
+                                             bounds=BATCH_SIZE_BUCKETS)
+        self._latency_hist = metrics.histogram("serve.latency_seconds")
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ExtractionService":
+        """Start the worker thread; idempotent."""
+        with self._queue_cond:
+            if self._running:
+                return self
+            self._running = True
+            self._draining = False
+            self._started_at = time.monotonic()
+        self._worker = threading.Thread(target=self._worker_loop,
+                                        name="repro-serve-worker",
+                                        daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting requests and shut the worker down.
+
+        ``drain=True`` serves everything already queued first;
+        otherwise queued requests resolve as ``"error"``.
+        """
+        with self._queue_cond:
+            if not self._running:
+                return
+            self._draining = True
+            if not drain:
+                while self._queue:
+                    request = self._queue.popleft()
+                    self._finish(request, self._make_result(
+                        request, "error", error="service stopped"))
+                self._depth_gauge.set(0.0)
+            self._running = False
+            self._queue_cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout)
+            self._worker = None
+
+    def __enter__(self) -> "ExtractionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request intake ------------------------------------------------
+    def submit(self, clip: np.ndarray,
+               timeout: Optional[float] = None) -> RequestFuture:
+        """Enqueue one clip ``(T, C, H, W)``; returns immediately.
+
+        Shape mismatches raise ``ValueError`` (caller bug, not a serve
+        outcome).  A full queue resolves the future as ``"shed"``
+        without queueing.
+        """
+        clip = np.asarray(clip)
+        if clip.shape != self.clip_shape:
+            raise ValueError(
+                f"expected clip of shape {self.clip_shape}, "
+                f"got {clip.shape}"
+            )
+        if timeout is None:
+            timeout = self.config.default_timeout_s
+        now = time.monotonic()
+        request = _Request(self._allocate_id(), clip, now, now + timeout)
+        future = RequestFuture(self, request)
+        with self._queue_cond:
+            if not self._running or self._draining:
+                raise RuntimeError("service is not running")
+            if len(self._queue) >= self.config.max_queue:
+                self._finish(request, self._make_result(
+                    request, "shed",
+                    error=f"queue full ({self.config.max_queue})"))
+                return future
+            self._queue.append(request)
+            self._depth_gauge.set(float(len(self._queue)))
+            self._queue_cond.notify()
+        return future
+
+    def extract(self, clip: np.ndarray,
+                timeout: Optional[float] = None) -> ServeResult:
+        """Blocking submit-and-wait convenience."""
+        return self.submit(clip, timeout=timeout).result()
+
+    # -- hot reload ----------------------------------------------------
+    def reload(self, source: Union[str, Module]) -> int:
+        """Atomically swap in new model weights; returns the version.
+
+        ``source`` is a self-describing checkpoint path (rebuilt via
+        :func:`repro.models.factory.load_model`) or an in-memory model.
+        The in-flight batch finishes on the old model; every later batch
+        uses the new one — no request is dropped.  The clip shape must
+        be unchanged (queued clips were validated against it).
+        """
+        if isinstance(source, Module):
+            model = source
+        else:
+            from repro.models.factory import load_model
+
+            model = load_model(source)
+        cfg = model.config
+        new_shape = (cfg.frames, cfg.channels, cfg.height, cfg.width)
+        if new_shape != self.clip_shape:
+            raise ValueError(
+                f"reload would change clip shape {self.clip_shape} -> "
+                f"{new_shape}; start a new service instead"
+            )
+        with self._model_lock:
+            self._primary = self._primary.clone_with_model(model)
+            self._model_version += 1
+            version = self._model_version
+        self.breaker.reset()
+        self._reload_counter.inc()
+        return version
+
+    @property
+    def model_version(self) -> int:
+        with self._model_lock:
+            return self._model_version
+
+    # -- probes --------------------------------------------------------
+    def ready(self) -> bool:
+        """Readiness: accepting work and not saturated."""
+        with self._queue_cond:
+            return (self._running and not self._draining
+                    and len(self._queue) < self.config.max_queue)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness/health snapshot (JSON-serialisable)."""
+        with self._queue_cond:
+            running = self._running
+            depth = len(self._queue)
+        breaker_state = self.breaker.state
+        if not running:
+            status = "stopped"
+        elif breaker_state == "closed":
+            status = "ok"
+        else:
+            status = "degraded"
+        with self._counts_lock:
+            counts = dict(self._status_counts)
+        return {
+            "status": status,
+            "ready": self.ready(),
+            "queue_depth": depth,
+            "inflight": self._inflight,
+            "breaker": breaker_state,
+            "model_version": self.model_version,
+            "uptime_s": (time.monotonic() - self._started_at
+                         if running else 0.0),
+            "requests": counts,
+        }
+
+    def status_counts(self) -> Dict[str, int]:
+        """Requests resolved so far, keyed by status."""
+        with self._counts_lock:
+            return dict(self._status_counts)
+
+    # -- internals -----------------------------------------------------
+    def _allocate_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _make_result(self, request: _Request, status: str,
+                     result: Optional[ExtractionResult] = None,
+                     batch_size: int = 0, version: int = 0,
+                     error: str = "") -> ServeResult:
+        return ServeResult(
+            request_id=request.request_id,
+            status=status,
+            result=result,
+            retries=request.retries,
+            batch_size=batch_size,
+            latency_s=time.monotonic() - request.enqueued_at,
+            model_version=version or self.model_version,
+            error=error,
+        )
+
+    def _finish(self, request: _Request, result: ServeResult) -> bool:
+        """Resolve + account; False when the request already resolved."""
+        if not request.try_resolve(result):
+            return False
+        metrics.counter("serve.requests", status=result.status).inc()
+        self._latency_hist.observe(result.latency_s)
+        if result.status != "shed":
+            self.breaker.record_latency(result.latency_s)
+        with self._counts_lock:
+            self._status_counts[result.status] += 1
+        return True
+
+    def _resolve_timeout(self, request: _Request) -> None:
+        self._finish(request, self._make_result(
+            request, "timeout",
+            error="deadline expired before completion"))
+
+    # -- worker --------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            if batch:
+                self._inflight = len(batch)
+                try:
+                    self._process_batch(batch)
+                finally:
+                    self._inflight = 0
+
+    def _collect_batch(self) -> Optional[List[_Request]]:
+        """Block for the first request, then coalesce until the batch is
+        full or the micro-batch deadline passes.  ``None`` = shut down."""
+        config = self.config
+        with self._queue_cond:
+            while not self._queue:
+                if not self._running:
+                    return None
+                self._queue_cond.wait(0.1)
+            batch = [self._queue.popleft()]
+            flush_at = time.monotonic() + config.max_wait_s
+            while len(batch) < config.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = flush_at - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._queue_cond.wait(remaining)
+            self._depth_gauge.set(float(len(self._queue)))
+        return batch
+
+    def _process_batch(self, batch: List[_Request]) -> None:
+        now = time.monotonic()
+        live = []
+        for request in batch:
+            if now >= request.deadline:
+                self._resolve_timeout(request)
+            else:
+                live.append(request)
+        if not live:
+            return
+        self._batch_hist.observe(float(len(live)))
+        clips = np.stack([r.clip for r in live])
+
+        with self._model_lock:
+            primary = self._primary
+            version = self._model_version
+
+        backoff = self.config.backoff_s
+        attempts = 0
+        force_fallback = False
+        while True:
+            use_primary = (not force_fallback
+                           and self.breaker.allow_primary())
+            extractor = primary if use_primary else self._fallback
+            try:
+                with span("serve/batch"):
+                    if use_primary and self.fault_injector is not None:
+                        self.fault_injector(len(live))
+                    results = extractor.extract_batch(clips)
+            except TransientWorkerError as exc:
+                if use_primary:
+                    self.breaker.record_failure()
+                    attempts += 1
+                    if attempts <= self.config.max_retries:
+                        for request in live:
+                            request.retries += 1
+                        self._retry_counter.inc(len(live))
+                        if backoff > 0:
+                            time.sleep(backoff)
+                        backoff *= self.config.backoff_multiplier
+                    else:
+                        # retries exhausted: degrade this batch
+                        force_fallback = True
+                    continue
+                # fallback itself failed transiently: give up explicitly
+                self._fail_batch(live, len(live), version, str(exc))
+                return
+            except Exception as exc:  # non-retryable worker bug
+                if use_primary:
+                    self.breaker.record_failure()
+                self._fail_batch(live, len(live), version,
+                                 f"{type(exc).__name__}: {exc}")
+                return
+            if use_primary:
+                self.breaker.record_success()
+            status = "ok" if use_primary else "degraded"
+            for request, extraction in zip(live, results):
+                self._finish(request, self._make_result(
+                    request, status, result=extraction,
+                    batch_size=len(live), version=version))
+            return
+
+    def _fail_batch(self, live: List[_Request], batch_size: int,
+                    version: int, message: str) -> None:
+        for request in live:
+            self._finish(request, self._make_result(
+                request, "error", batch_size=batch_size,
+                version=version, error=message))

@@ -49,10 +49,9 @@ class TestGenerate:
 class TestTrainExtractEvaluate:
     def test_extract_prints_sentences(self, dataset_file, checkpoint_file,
                                       capsys):
+        # self-describing checkpoint: no model-shape flags needed
         code = main(["extract", "--data", dataset_file,
-                     "--checkpoint", checkpoint_file, "--limit", "3",
-                     "--model", "frame-mlp", "--dim", "16",
-                     "--depth", "1", "--heads", "2"])
+                     "--checkpoint", checkpoint_file, "--limit", "3"])
         assert code == 0
         out = capsys.readouterr().out
         assert out.count("clip ") == 3
@@ -62,8 +61,7 @@ class TestTrainExtractEvaluate:
                                capsys):
         code = main(["extract", "--data", dataset_file,
                      "--checkpoint", checkpoint_file, "--limit", "1",
-                     "--json", "--model", "frame-mlp", "--dim", "16",
-                     "--depth", "1", "--heads", "2"])
+                     "--json"])
         assert code == 0
         out = capsys.readouterr().out
         payload = out.strip().splitlines()[1].strip()
@@ -73,13 +71,77 @@ class TestTrainExtractEvaluate:
     def test_evaluate_emits_metrics_json(self, dataset_file,
                                          checkpoint_file, capsys):
         code = main(["evaluate", "--data", dataset_file,
-                     "--checkpoint", checkpoint_file,
-                     "--model", "frame-mlp", "--dim", "16",
-                     "--depth", "1", "--heads", "2"])
+                     "--checkpoint", checkpoint_file])
         assert code == 0
         metrics = json.loads(capsys.readouterr().out)
         assert "ego_acc" in metrics
         assert 0.0 <= metrics["ego_acc"] <= 1.0
+
+
+class TestDeprecatedModelFlags:
+    def test_matching_flags_warn_but_work(self, dataset_file,
+                                          checkpoint_file, capsys):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            code = main(["extract", "--data", dataset_file,
+                         "--checkpoint", checkpoint_file, "--limit", "1",
+                         "--model", "frame-mlp", "--dim", "16",
+                         "--depth", "1", "--heads", "2"])
+        assert code == 0
+        assert "clip 0" in capsys.readouterr().out
+
+    def test_conflicting_flags_exit_2(self, dataset_file,
+                                      checkpoint_file, capsys):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SystemExit) as exc:
+                main(["extract", "--data", dataset_file,
+                      "--checkpoint", checkpoint_file,
+                      "--dim", "32"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "conflict" in err
+        assert "--dim=32" in err
+
+
+class TestServe:
+    def test_serve_burst_json_summary(self, dataset_file,
+                                      checkpoint_file, capsys):
+        code = main(["serve", "--data", dataset_file,
+                     "--checkpoint", checkpoint_file,
+                     "--requests", "16", "--concurrency", "8",
+                     "--max-wait-ms", "20", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == "repro.serve/v1"
+        assert summary["statuses"]["ok"] == 16
+        assert summary["silent_failures"] == 0
+        assert summary["batches"]["max_size"] > 1
+        assert summary["health"]["breaker"] == "closed"
+
+    def test_serve_fault_injection_fully_accounted(self, dataset_file,
+                                                   checkpoint_file,
+                                                   capsys):
+        code = main(["serve", "--data", dataset_file,
+                     "--checkpoint", checkpoint_file,
+                     "--requests", "24", "--concurrency", "8",
+                     "--inject-failure-rate", "0.4",
+                     "--allow-failures", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["silent_failures"] == 0
+        assert sum(summary["statuses"].values()) == 24
+        assert summary["statuses"]["error"] == 0
+
+    def test_serve_metrics_export(self, dataset_file, checkpoint_file,
+                                  tmp_path, capsys):
+        out = str(tmp_path / "metrics.jsonl")
+        code = main(["serve", "--data", dataset_file,
+                     "--checkpoint", checkpoint_file,
+                     "--requests", "4", "--metrics-out", out])
+        assert code == 0
+        with open(out, encoding="utf-8") as fh:
+            names = {json.loads(line)["name"] for line in fh}
+        assert "serve.requests" in names
+        assert "serve.batch_size" in names
 
 
 class TestProfile:

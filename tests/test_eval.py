@@ -82,6 +82,19 @@ class TestEfficiency:
         assert set(rows) == {"frame-mlp", "frame-vit"}
         assert rows["frame-vit"]["params"] > rows["frame-mlp"]["params"]
 
+    def test_service_scaling_fields(self):
+        from repro.eval import service_scaling
+
+        model = build_model("frame-mlp", TINY.model_config())
+        report = service_scaling(model, requests=8, concurrency=(1, 4),
+                                 max_batch=4)
+        assert report["serial"]["clips_per_s"] > 0
+        assert set(report["service"]) == {1, 4}
+        for level in report["service"].values():
+            assert level["clips_per_s"] > 0
+            assert level["p95_latency_ms"] >= level["p50_latency_ms"]
+            assert level["mean_batch_size"] >= 1.0
+
 
 class TestLabelNoiseExperiment:
     def test_series_keys(self):

@@ -124,8 +124,7 @@ class TestCLIMine:
         capsys.readouterr()
         assert main(["mine", "--data", data_path,
                      "--checkpoint", ckpt_path, "--out", out_path,
-                     "--top", "2", "--model", "frame-mlp", "--dim", "16",
-                     "--depth", "1", "--heads", "2"]) == 0
+                     "--top", "2"]) == 0
         out = capsys.readouterr().out
         assert "wrote 6 records" in out
         assert out.count("crit=") == 2
