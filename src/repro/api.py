@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.cache import ExtractionCache, cached_extract_sliding
 from repro.core.mining import MiningHit, ScenarioMiner
 from repro.core.pipeline import ExtractionResult, ScenarioExtractor
 from repro.core.retrieval import RetrievalIndex, retrieval_metrics
@@ -76,6 +77,16 @@ def _as_extractor(source: ExtractorSource) -> ScenarioExtractor:
     return load_extractor(source)
 
 
+def _as_cache(cache: Optional[ExtractionCache],
+              cache_dir: Optional[str]) -> Optional[ExtractionCache]:
+    """Resolve the cache arguments shared by the corpus entry points."""
+    if cache is not None and cache_dir is not None:
+        raise ValueError("pass either cache or cache_dir, not both")
+    if cache_dir is not None:
+        return ExtractionCache(cache_dir)
+    return cache
+
+
 def extract_clip(source: ExtractorSource,
                  clip: np.ndarray) -> ExtractionResult:
     """Scenario description of a single clip ``(T, C, H, W)``."""
@@ -83,64 +94,85 @@ def extract_clip(source: ExtractorSource,
 
 
 def extract_video(source: ExtractorSource, video: np.ndarray,
-                  window: int, stride: int) -> List[ExtractionResult]:
+                  window: int, stride: int,
+                  cache: Optional[ExtractionCache] = None,
+                  cache_dir: Optional[str] = None
+                  ) -> List[ExtractionResult]:
     """Sliding-window description timeline over a long video
-    ``(T, C, H, W)`` — one result per window with its frame range."""
-    return _as_extractor(source).extract_sliding(np.asarray(video),
-                                                 window=window,
-                                                 stride=stride)
+    ``(T, C, H, W)`` — one result per window with its frame range.
+
+    With a cache, windows whose content was described before (under the
+    same model version / vocabulary / threshold) skip the forward pass.
+    """
+    return cached_extract_sliding(_as_extractor(source),
+                                  np.asarray(video), window=window,
+                                  stride=stride,
+                                  cache=_as_cache(cache, cache_dir))
 
 
 def mine(source: ExtractorSource, clips: np.ndarray,
          query: Optional[ScenarioDescription] = None,
          top_k: int = 5, min_score: float = 0.0,
+         cache: Optional[ExtractionCache] = None,
+         cache_dir: Optional[str] = None,
          **tags) -> List[MiningHit]:
     """Search a corpus ``(N, T, C, H, W)`` for a scenario.
 
     The query is either a full :class:`ScenarioDescription` or keyword
     tags (``ego_action="stop"``, ``actors={"pedestrian"}`` ...).  Clips
     are ranked by SDL similarity between the query and each clip's
-    *extracted* description.
+    *extracted* description.  Pass ``cache``/``cache_dir`` to reuse
+    descriptions across calls: mining an already-cached corpus performs
+    zero extractor forward passes (see ``docs/caching.md``).
     """
     extractor = _as_extractor(source)
-    miner = ScenarioMiner(extractor)
+    miner = ScenarioMiner(extractor, cache=_as_cache(cache, cache_dir))
     miner.index(np.asarray(clips))
     if query is not None:
         if tags:
             raise ValueError("pass either query or tags, not both")
         return miner.query(query, top_k=top_k, min_score=min_score)
-    return miner.query_tags(top_k=top_k, **tags)
+    return miner.query_tags(top_k=top_k, min_score=min_score, **tags)
 
 
 def retrieve(source: ExtractorSource, clips: np.ndarray,
-             query: ScenarioDescription, top_k: int = 5) -> List[int]:
+             query: ScenarioDescription, top_k: int = 5,
+             cache: Optional[ExtractionCache] = None,
+             cache_dir: Optional[str] = None) -> List[int]:
     """Text→video retrieval: clip indices of ``(N, T, C, H, W)`` ranked
     by SDL-embedding similarity between ``query`` and each clip's
-    extracted description."""
+    extracted description.  ``cache``/``cache_dir`` reuse descriptions
+    exactly as in :func:`mine`."""
     extractor = _as_extractor(source)
-    index = RetrievalIndex()
-    index.add_batch([r.description
-                     for r in extractor.extract_batch(np.asarray(clips))])
+    index = RetrievalIndex(extractor=extractor,
+                           cache=_as_cache(cache, cache_dir))
+    index.add_clips(np.asarray(clips))
     return index.query(query, top_k=top_k)
 
 
 def serve(source: ExtractorSource,
           config: Optional[ServiceConfig] = None,
+          cache: Optional[ExtractionCache] = None,
+          cache_dir: Optional[str] = None,
           **config_kwargs) -> ExtractionService:
     """A started :class:`ExtractionService` over ``source``.
 
     Keyword arguments are :class:`ServiceConfig` fields (``max_batch``,
-    ``max_wait_s``, ``max_queue`` ...).  Use as a context manager or
-    call ``.stop()``; pair with :class:`ServiceClient` for bursts.
+    ``max_wait_s``, ``max_queue`` ...).  ``cache``/``cache_dir`` attach
+    an extraction cache: hits answer before the micro-batch queue with
+    ``cached=True``.  Use as a context manager or call ``.stop()``;
+    pair with :class:`ServiceClient` for bursts.
     """
     if config is not None and config_kwargs:
         raise ValueError("pass either config or keyword fields, not both")
     if config is None:
         config = ServiceConfig(**config_kwargs)
-    return ExtractionService(_as_extractor(source), config).start()
+    return ExtractionService(_as_extractor(source), config,
+                             cache=_as_cache(cache, cache_dir)).start()
 
 
 __all__ = [
+    "ExtractionCache",
     "ExtractionResult",
     "ExtractionService",
     "MiningHit",

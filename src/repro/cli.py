@@ -6,7 +6,10 @@ Commands
 - ``train`` — train a model on a dataset file and save a checkpoint.
 - ``extract`` — run a trained model over a dataset and print sentences.
 - ``evaluate`` — full SDL metric suite of a checkpoint on a dataset.
-- ``mine`` — export a corpus to JSONL, ranked by criticality.
+- ``mine`` — cache-backed corpus mining: JSONL export ranked by
+  criticality plus optional tag queries; ``--cache-dir`` persists the
+  extraction cache so re-runs skip the model entirely
+  (see ``docs/caching.md``).
 - ``serve`` — run the fault-tolerant micro-batching extraction service
   against a dataset burst and report per-status accounting
   (see ``docs/serving.md``).
@@ -181,20 +184,82 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_mine(args) -> int:
-    """``mine``: export a corpus to JSONL ranked by criticality."""
+    """``mine``: cache-backed corpus mining.
+
+    Extracts the corpus through an :class:`ExtractionCache` (persistent
+    under ``--cache-dir``, in-memory otherwise, so each clip runs at
+    most one forward pass per invocation either way), exports the JSONL
+    records ranked by criticality, optionally answers a tag query
+    (``--ego-action`` / ``--actor`` ...), and reports a cache-stats
+    summary.  Re-running over an already-cached corpus performs zero
+    extractor forward passes and returns bit-identical records/hits.
+    """
+    from repro.core.cache import ExtractionCache
     from repro.core.export import export_corpus
+    from repro.core.mining import ScenarioMiner
 
     dataset = SynthDriveDataset.load(args.data)
     model = _load_model(args, dataset.videos.shape[1])
     extractor = ScenarioExtractor(model)
+    cache = ExtractionCache(args.cache_dir or None)
     records = export_corpus(extractor, dataset.videos, args.out,
-                            families=dataset.families)
-    print(f"wrote {len(records)} records to {args.out}")
+                            families=dataset.families, cache=cache)
     ranked = sorted(records, key=lambda r: -r["criticality"])
+
+    tags = {}
+    if args.scene:
+        tags["scene"] = args.scene
+    if args.ego_action:
+        tags["ego_action"] = args.ego_action
+    if args.actor:
+        tags["actors"] = set(args.actor)
+    if args.actor_action:
+        tags["actor_actions"] = set(args.actor_action)
+    hits = []
+    if tags:
+        miner = ScenarioMiner(extractor, cache=cache)
+        miner.add_clips(dataset.videos)  # pure cache hits by now
+        hits = miner.query_tags(top_k=args.top_k,
+                                min_score=args.min_score, **tags)
+
+    stats = cache.stats()
+    summary = {
+        "schema": "repro.mine/v1",
+        "clips": len(records),
+        "records_path": args.out,
+        "cache": stats,
+        "extracted_clips": stats["misses"],
+        "top_criticality": [
+            {"clip_id": r["clip_id"], "criticality": r["criticality"],
+             "sentence": r["sentence"]}
+            for r in ranked[:args.top]
+        ],
+        "query": {k: sorted(v) if isinstance(v, set) else v
+                  for k, v in tags.items()} or None,
+        "hits": [
+            {"clip_id": h.clip_id, "score": round(h.score, 4),
+             "sentence": h.sentence}
+            for h in hits
+        ],
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"wrote {len(records)} records to {args.out}")
     print(f"top {args.top} by criticality:")
     for record in ranked[:args.top]:
         print(f"  clip {record['clip_id']:3d} "
               f"crit={record['criticality']:.3f} {record['sentence']}")
+    if tags:
+        print(f"query {summary['query']} -> {len(hits)} hits:")
+        for hit in hits:
+            print(f"  clip {hit.clip_id:3d} score={hit.score:.3f} "
+                  f"{hit.sentence}")
+    print(f"cache: {stats['hits']} hits / {stats['misses']} misses "
+          f"(hit rate {stats['hit_rate']:.0%}, "
+          f"{stats['entries']} entries"
+          + (f", dir {args.cache_dir})" if args.cache_dir
+             else ", in-memory)"))
     return 0
 
 
@@ -445,13 +510,33 @@ def build_parser() -> argparse.ArgumentParser:
     profile.set_defaults(fn=cmd_profile)
 
     mine = sub.add_parser(
-        "mine", help="extract a corpus to JSONL, sorted by criticality"
+        "mine", help="cache-backed corpus mining: JSONL export ranked "
+                     "by criticality plus optional tag queries"
     )
     mine.add_argument("--data", required=True)
     mine.add_argument("--checkpoint", required=True)
     mine.add_argument("--out", required=True)
     mine.add_argument("--top", type=int, default=5,
                       help="print this many most-critical clips")
+    mine.add_argument("--cache-dir", default="",
+                      help="persistent extraction cache directory; "
+                          "re-runs over cached clips skip the model "
+                          "forward pass entirely")
+    mine.add_argument("--scene", default="",
+                      help="tag query: scene")
+    mine.add_argument("--ego-action", default="",
+                      help="tag query: ego manoeuvre")
+    mine.add_argument("--actor", action="append", default=[],
+                      help="tag query: actor type (repeatable)")
+    mine.add_argument("--actor-action", action="append", default=[],
+                      help="tag query: actor behaviour (repeatable)")
+    mine.add_argument("--top-k", type=int, default=5,
+                      help="hits to return for a tag query")
+    mine.add_argument("--min-score", type=float, default=0.0,
+                      help="inclusive minimum SDL similarity for hits")
+    mine.add_argument("--json", action="store_true",
+                      help="print a repro.mine/v1 JSON summary "
+                           "(includes cache stats)")
     _add_model_args(mine)
     mine.set_defaults(fn=cmd_mine)
     return parser

@@ -1,15 +1,30 @@
 """The paper's contribution: end-to-end scenario description extraction,
-scenario mining over clip corpora, and description-based retrieval."""
+scenario mining over clip corpora, and description-based retrieval —
+backed by a persistent, model-versioned extraction cache."""
 
 from repro.core.pipeline import ExtractionResult, ScenarioExtractor
+from repro.core.cache import (
+    ExtractionCache,
+    cached_extract_batch,
+    cached_extract_sliding,
+    clip_content_hash,
+    extractor_version,
+    model_fingerprint,
+)
 from repro.core.mining import MiningHit, ScenarioMiner
 from repro.core.retrieval import RetrievalIndex, retrieval_metrics
 
 __all__ = [
     "ScenarioExtractor",
     "ExtractionResult",
+    "ExtractionCache",
     "ScenarioMiner",
     "MiningHit",
     "RetrievalIndex",
+    "cached_extract_batch",
+    "cached_extract_sliding",
+    "clip_content_hash",
+    "extractor_version",
+    "model_fingerprint",
     "retrieval_metrics",
 ]

@@ -1,0 +1,337 @@
+"""Persistent, content-addressed cache of extraction results.
+
+Scenario mining and retrieval are query-over-corpus workloads: the same
+fleet clips get re-described for every query, and the extractor forward
+pass dominates the cost.  :class:`ExtractionCache` stores each decoded
+:class:`~repro.core.pipeline.ExtractionResult` keyed by what actually
+determines it:
+
+- the **clip content hash** (dtype + shape + raw bytes),
+- the **model version** — a fingerprint of the checkpoint's
+  self-describing metadata plus its weights, so a hot-reload to
+  different weights can never serve stale descriptions,
+- the **vocabulary hash** (tag order defines the label index space),
+- the decode **threshold**.
+
+The store is a JSONL file under ``cache_dir`` (one record per line,
+appended with a single atomic ``write``), loaded lazily and tolerant of
+corruption: a torn or garbled line is skipped and logged, never fatal.
+With ``cache_dir=None`` the cache is memory-only.  ``cache.hit`` /
+``cache.miss`` / ``cache.evict`` / ``cache.corrupt`` counters go through
+the ``repro.obs`` registry.  See ``docs/caching.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import ExtractionResult, ScenarioExtractor
+from repro.nn.module import Module
+from repro.obs import get_logger, metrics
+from repro.sdl.description import ScenarioDescription
+
+#: Schema tag written into every cache record.
+CACHE_FORMAT = "repro.cache/v1"
+
+#: On-disk file name inside ``cache_dir``.
+CACHE_FILE = "extractions.jsonl"
+
+_logger = get_logger("core.cache")
+
+
+# -- key components -----------------------------------------------------
+def clip_content_hash(clip: np.ndarray) -> str:
+    """Stable digest of one clip's pixel content (dtype/shape-aware)."""
+    clip = np.ascontiguousarray(clip)
+    digest = hashlib.sha256()
+    digest.update(str(clip.dtype).encode())
+    digest.update(str(clip.shape).encode())
+    digest.update(clip.tobytes())
+    return digest.hexdigest()[:24]
+
+
+def model_fingerprint(model: Module) -> str:
+    """Version id of a model: checkpoint metadata plus weight bytes.
+
+    Two models agree iff they would produce the same checkpoint — the
+    PR 3 self-describing metadata (architecture, registry name, vocab
+    hash) and every parameter value.  A served hot-reload to new weights
+    therefore changes the fingerprint and invalidates cached entries.
+    """
+    digest = hashlib.sha256()
+    digest.update(json.dumps(model.checkpoint_meta(),
+                             sort_keys=True).encode())
+    for name, param in sorted(model.named_parameters()):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(param.data).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def extractor_version(extractor: ScenarioExtractor) -> str:
+    """The cache-relevant version of an extractor's model."""
+    return model_fingerprint(extractor.model)
+
+
+def cache_key(clip_hash: str, model_version: str, vocab_hash: str,
+              threshold: float) -> str:
+    """Compose the full content-addressed key.
+
+    The decode threshold rides along because it changes which multi-label
+    tags survive decoding — same logits, different description.
+    """
+    return f"{clip_hash}:{model_version}:{vocab_hash}:t{threshold:g}"
+
+
+class ExtractionCache:
+    """On-disk (or in-memory) store of extraction results by cache key.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the JSONL store; created on demand.  ``None``
+        keeps the cache in memory only.
+    max_entries:
+        Optional capacity; inserting past it evicts the oldest entries
+        (insertion order) and compacts the on-disk file atomically.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.cache_dir = os.fspath(cache_dir) if cache_dir else None
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, ExtractionResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
+        if self.cache_dir is not None:
+            self._load()
+
+    # -- persistence ---------------------------------------------------
+    @property
+    def path(self) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, CACHE_FILE)
+
+    def _load(self) -> None:
+        path = self.path
+        if path is None or not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    result = _record_to_result(record)
+                except Exception as exc:  # torn write, vocab drift, ...
+                    self.corrupt += 1
+                    metrics.counter("cache.corrupt").inc()
+                    _logger.warning(
+                        "skipping corrupt cache record %s:%d (%s)",
+                        path, lineno, exc,
+                    )
+                    continue
+                self._entries[key] = result
+        if (self.max_entries is not None
+                and len(self._entries) > self.max_entries):
+            self._evict_locked()
+            self._compact()
+
+    def _append(self, key: str, result: ExtractionResult) -> None:
+        path = self.path
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        line = json.dumps(_result_to_record(key, result),
+                          sort_keys=True) + "\n"
+        # One O_APPEND write per record: concurrent writers interleave
+        # whole lines, and a crash can only tear the final line — which
+        # _load skips and logs.
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def _compact(self) -> None:
+        """Rewrite the store to match memory, atomically (tmp+rename)."""
+        path = self.path
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for key, result in self._entries.items():
+                handle.write(json.dumps(_result_to_record(key, result),
+                                        sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    # -- store API -----------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str) -> Optional[ExtractionResult]:
+        """The cached result for ``key``, counting the hit or miss."""
+        with self._lock:
+            result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            metrics.counter("cache.miss").inc()
+            return None
+        self.hits += 1
+        metrics.counter("cache.hit").inc()
+        return result
+
+    def put(self, key: str, result: ExtractionResult) -> None:
+        """Insert ``key``; a no-op when already present (idempotent)."""
+        with self._lock:
+            if key in self._entries:
+                return
+            self._entries[key] = result
+            self._append(key, result)
+            if (self.max_entries is not None
+                    and len(self._entries) > self.max_entries):
+                self._evict_locked()
+                self._compact()
+
+    def _evict_locked(self) -> None:
+        while (self.max_entries is not None
+               and len(self._entries) > self.max_entries):
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            metrics.counter("cache.evict").inc()
+
+    def clear(self) -> None:
+        """Drop every entry (and the on-disk store, if any)."""
+        with self._lock:
+            self._entries.clear()
+            self._compact()
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss accounting since this instance was constructed."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt_records": self.corrupt,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+
+# -- record (de)serialisation -------------------------------------------
+def _result_to_record(key: str, result: ExtractionResult) -> dict:
+    return {
+        "schema": CACHE_FORMAT,
+        "key": key,
+        "description": result.description.to_dict(),
+        "sentence": result.sentence,
+        "confidences": {k: float(v)
+                        for k, v in result.confidences.items()},
+        "frame_range": list(result.frame_range),
+    }
+
+
+def _record_to_result(record: dict) -> ExtractionResult:
+    if record.get("schema") != CACHE_FORMAT:
+        raise ValueError(f"unknown cache record schema "
+                         f"{record.get('schema')!r}")
+    description = ScenarioDescription.from_dict(record["description"])
+    return ExtractionResult(
+        description=description,
+        sentence=record["sentence"],
+        confidences={k: float(v)
+                     for k, v in record["confidences"].items()},
+        frame_range=tuple(record["frame_range"]),
+    )
+
+
+# -- cache-backed extraction --------------------------------------------
+def cached_extract_batch(extractor: ScenarioExtractor, clips: np.ndarray,
+                         cache: Optional[ExtractionCache],
+                         batch_size: Optional[int] = None,
+                         ) -> List[ExtractionResult]:
+    """``extractor.extract_batch`` with cache lookup per clip.
+
+    Cache hits are answered from the store; only misses run a forward
+    pass (as one batched call), and their results are written back.
+    With ``cache=None`` this is exactly ``extract_batch``.  Results come
+    back in clip order either way.
+    """
+    clips = np.asarray(clips)
+    if cache is None:
+        return extractor.extract_batch(clips, batch_size=batch_size)
+    if clips.ndim != 5:
+        raise ValueError("expected (N, T, C, H, W) clips")
+    version = extractor_version(extractor)
+    vocab_hash = extractor.codec.vocab.content_hash
+    keys = [cache_key(clip_content_hash(clip), version, vocab_hash,
+                      extractor.threshold) for clip in clips]
+    results: List[Optional[ExtractionResult]] = [cache.get(k)
+                                                 for k in keys]
+    miss_indices = [i for i, r in enumerate(results) if r is None]
+    if miss_indices:
+        fresh = extractor.extract_batch(clips[miss_indices],
+                                        batch_size=batch_size)
+        for index, result in zip(miss_indices, fresh):
+            cache.put(keys[index], result)
+            results[index] = result
+    return results  # type: ignore[return-value]
+
+
+def cached_extract_sliding(extractor: ScenarioExtractor,
+                           video: np.ndarray, window: int, stride: int,
+                           cache: Optional[ExtractionCache],
+                           ) -> List[ExtractionResult]:
+    """Cache-backed sliding-window timeline extraction.
+
+    Mirrors :meth:`ScenarioExtractor.extract_sliding` (same windowing,
+    same frame ranges) but each window clip goes through the cache, so
+    overlapping re-analyses of the same footage reuse prior windows.
+    """
+    if cache is None:
+        return extractor.extract_sliding(video, window=window,
+                                         stride=stride)
+    starts, clips = ScenarioExtractor.window_clips(video, window, stride)
+    results = cached_extract_batch(extractor, clips, cache)
+    return [
+        ExtractionResult(
+            description=r.description,
+            sentence=r.sentence,
+            confidences=r.confidences,
+            frame_range=(start, start + window),
+        )
+        for start, r in zip(starts, results)
+    ]
+
+
+__all__ = [
+    "CACHE_FORMAT",
+    "ExtractionCache",
+    "cache_key",
+    "cached_extract_batch",
+    "cached_extract_sliding",
+    "clip_content_hash",
+    "extractor_version",
+    "model_fingerprint",
+]

@@ -37,12 +37,17 @@ def result_to_record(clip_id: int, result: ExtractionResult,
 
 def export_corpus(extractor: ScenarioExtractor, clips: np.ndarray,
                   path: str,
-                  families: Optional[Sequence[str]] = None) -> List[dict]:
+                  families: Optional[Sequence[str]] = None,
+                  cache=None) -> List[dict]:
     """Extract every clip and write one JSON line per clip to ``path``.
 
     Returns the records (also useful without the file side-effect via
-    ``path=None`` — then nothing is written)."""
-    results = extractor.extract_batch(clips)
+    ``path=None`` — then nothing is written).  An optional
+    :class:`~repro.core.cache.ExtractionCache` answers already-described
+    clips without a forward pass."""
+    from repro.core.cache import cached_extract_batch
+
+    results = cached_extract_batch(extractor, clips, cache)
     records = [
         result_to_record(i, result,
                          families[i] if families is not None else None)

@@ -4,6 +4,11 @@ The downstream use-case motivating automated extraction: a fleet
 operator asks "show me every pedestrian-crossing clip" and the miner
 ranks a corpus by SDL similarity between the query and each clip's
 *extracted* description.
+
+The miner is incremental: :meth:`ScenarioMiner.add_clips` appends new
+clips under stable, caller-visible ids without touching what is already
+indexed, and an optional :class:`~repro.core.cache.ExtractionCache`
+answers repeat clips without a forward pass (see ``docs/caching.md``).
 """
 
 from __future__ import annotations
@@ -14,8 +19,9 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.pipeline import ScenarioExtractor
+from repro.core.retrieval import topk_indices
 from repro.sdl.description import ScenarioDescription
-from repro.sdl.similarity import sdl_similarity
+from repro.sdl.similarity import sdl_vector
 
 
 @dataclass(frozen=True)
@@ -30,55 +36,106 @@ class ScenarioMiner:
     """Indexes a clip corpus by extracted descriptions and answers
     description queries."""
 
-    def __init__(self, extractor: ScenarioExtractor) -> None:
+    def __init__(self, extractor: ScenarioExtractor, cache=None) -> None:
         self.extractor = extractor
+        self.cache = cache
         self._descriptions: List[ScenarioDescription] = []
+        self._vectors: List[np.ndarray] = []
 
+    # -- indexing -----------------------------------------------------
     def index(self, clips: np.ndarray) -> None:
         """Extract and store descriptions for a corpus
         ``(N, T, C, H, W)``; replaces any previous index."""
-        results = self.extractor.extract_batch(clips)
-        self._descriptions = [r.description for r in results]
+        self._descriptions = []
+        self._vectors = []
+        self.add_clips(clips)
+
+    def add_clips(self, clips: np.ndarray) -> List[int]:
+        """Incrementally index clips ``(N, T, C, H, W)``.
+
+        Appends to the existing index and returns the stable clip ids
+        assigned to these clips (continuing from the current size, so
+        ids handed out by earlier calls keep their meaning).  With a
+        cache attached, clips seen before — under the same model
+        version, vocabulary and threshold — skip extraction entirely.
+        """
+        from repro.core.cache import cached_extract_batch
+
+        results = cached_extract_batch(self.extractor, np.asarray(clips),
+                                       self.cache)
+        return self.add_descriptions([r.description for r in results])
 
     def index_descriptions(self,
                            descriptions: Sequence[ScenarioDescription]
                            ) -> None:
-        """Index pre-computed descriptions (e.g. ground truth)."""
-        self._descriptions = list(descriptions)
+        """Index pre-computed descriptions (e.g. ground truth);
+        replaces any previous index."""
+        self._descriptions = []
+        self._vectors = []
+        self.add_descriptions(descriptions)
+
+    def add_descriptions(self,
+                         descriptions: Sequence[ScenarioDescription]
+                         ) -> List[int]:
+        """Append pre-computed descriptions; returns their clip ids."""
+        start = len(self._descriptions)
+        for desc in descriptions:
+            self._descriptions.append(desc)
+            self._vectors.append(sdl_vector(desc))
+        return list(range(start, len(self._descriptions)))
 
     @property
     def size(self) -> int:
         return len(self._descriptions)
 
+    # -- querying -----------------------------------------------------
+    def _scores(self, query: ScenarioDescription) -> np.ndarray:
+        """SDL cosine similarity of the query against every indexed
+        clip, vectorized over the stored embedding matrix."""
+        matrix = np.stack(self._vectors)
+        q = sdl_vector(query)
+        denom = np.linalg.norm(matrix, axis=1) * np.linalg.norm(q)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = np.where(denom == 0.0, 0.0, matrix @ q / denom)
+        return np.clip(scores, 0.0, 1.0)
+
     def query(self, query: ScenarioDescription, top_k: int = 5,
               min_score: float = 0.0) -> List[MiningHit]:
-        """Rank indexed clips by SDL similarity to ``query``."""
+        """Rank indexed clips by SDL similarity to ``query``.
+
+        ``min_score`` is an **inclusive** floor: a hit scoring exactly
+        ``min_score`` is returned, and every clip tied at the threshold
+        is treated identically (the filter is applied per score, never
+        by truncating a sorted prefix, so threshold ties can't be
+        half-dropped).  Ties in score rank by ascending clip id.
+        """
         if not self._descriptions:
             raise RuntimeError("miner has no indexed clips; call index()")
         if top_k <= 0:
             raise ValueError("top_k must be positive")
-        scored = [
-            (i, sdl_similarity(query, desc))
-            for i, desc in enumerate(self._descriptions)
-        ]
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        scores = self._scores(query)
         hits = []
-        for clip_id, score in scored[:top_k]:
+        for clip_id in topk_indices(scores, top_k):
+            score = float(scores[clip_id])
             if score < min_score:
-                break
+                continue
             desc = self._descriptions[clip_id]
-            hits.append(MiningHit(clip_id=clip_id, score=score,
+            hits.append(MiningHit(clip_id=int(clip_id), score=score,
                                   description=desc,
                                   sentence=desc.to_sentence()))
         return hits
 
-    def query_tags(self, top_k: int = 5, **tags) -> List[MiningHit]:
+    def query_tags(self, top_k: int = 5, min_score: float = 0.0,
+                   **tags) -> List[MiningHit]:
         """Convenience query from keyword tags, e.g.
-        ``query_tags(ego_action="stop", actors={"pedestrian"})``."""
+        ``query_tags(ego_action="stop", actors={"pedestrian"})``.
+
+        ``min_score`` is forwarded to :meth:`query` (it used to be
+        silently dropped on this path)."""
         query = ScenarioDescription(
             scene=tags.get("scene", "straight-road"),
             ego_action=tags.get("ego_action", "drive-straight"),
             actors=frozenset(tags.get("actors", ())),
             actor_actions=frozenset(tags.get("actor_actions", ())),
         )
-        return self.query(query, top_k=top_k)
+        return self.query(query, top_k=top_k, min_score=min_score)

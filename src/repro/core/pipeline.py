@@ -133,10 +133,12 @@ class ScenarioExtractor:
             metrics.counter("pipeline.clips").inc(len(results))
         return results
 
-    def extract_sliding(self, video: np.ndarray, window: int,
-                        stride: int) -> List[ExtractionResult]:
-        """Slide a window over a long video ``(T, C, H, W)`` and extract
-        a description per window — scenario *timeline* extraction."""
+    @staticmethod
+    def window_clips(video: np.ndarray, window: int,
+                     stride: int) -> Tuple[List[int], np.ndarray]:
+        """Window start frames and stacked window clips for a video
+        ``(T, C, H, W)`` — the shared geometry behind
+        :meth:`extract_sliding` and its cache-backed twin."""
         if video.ndim != 4:
             raise ValueError("expected (T, C, H, W) video")
         if window <= 0 or stride <= 0:
@@ -147,7 +149,13 @@ class ScenarioExtractor:
                 f"video has {total} frames, shorter than window {window}"
             )
         starts = list(range(0, total - window + 1, stride))
-        clips = np.stack([video[s:s + window] for s in starts])
+        return starts, np.stack([video[s:s + window] for s in starts])
+
+    def extract_sliding(self, video: np.ndarray, window: int,
+                        stride: int) -> List[ExtractionResult]:
+        """Slide a window over a long video ``(T, C, H, W)`` and extract
+        a description per window — scenario *timeline* extraction."""
+        starts, clips = self.window_clips(video, window, stride)
         results = self.extract_batch(clips)
         return [
             ExtractionResult(

@@ -4,11 +4,16 @@ Scenario2Vector-style evaluation: each test clip's ground-truth
 description acts as the "text query"; the system must retrieve the clip
 whose *extracted* description embeds closest to the query.  Quality is
 reported as Recall@k and mean reciprocal rank (MRR).
+
+The index is incremental: ``add_batch`` / ``add_clips`` append to the
+existing contents under fresh, stable clip ids, and ``add_clips`` can
+populate from an extraction cache so re-indexing a known corpus costs
+no forward passes (see ``docs/caching.md``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -16,20 +21,81 @@ from repro.sdl.description import ScenarioDescription
 from repro.sdl.similarity import sdl_vector
 
 
-class RetrievalIndex:
-    """Cosine-similarity index over SDL embedding vectors."""
+def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` best scores, ordered by (-score, index).
 
-    def __init__(self) -> None:
+    Uses ``np.argpartition`` to avoid a full sort, then resolves the
+    boundary exactly: every index tied with the k-th score enters the
+    candidate set before the final (small) ordering pass, so the result
+    is identical to a stable full sort — ties break toward the lower
+    index — without its O(n log n) cost.
+    """
+    n = len(scores)
+    k = min(k, n)
+    if k <= 0:
+        return np.zeros(0, dtype=np.intp)
+    if k < n:
+        top = np.argpartition(-scores, k - 1)[:k]
+        boundary = scores[top].min()
+        candidates = np.nonzero(scores >= boundary)[0]
+    else:
+        candidates = np.arange(n)
+    order = np.lexsort((candidates, -scores[candidates]))
+    return candidates[order][:k]
+
+
+class RetrievalIndex:
+    """Cosine-similarity index over SDL embedding vectors.
+
+    ``extractor`` (and optionally ``cache``) enable
+    :meth:`add_clips` — indexing raw clips through extraction.
+    """
+
+    def __init__(self, extractor=None, cache=None) -> None:
         self._ids: List[int] = []
         self._vectors: List[np.ndarray] = []
+        self._extractor = extractor
+        self._cache = cache
 
     def add(self, clip_id: int, description: ScenarioDescription) -> None:
+        """Add one clip under a caller-chosen id; ids must be unique."""
+        if clip_id in self._ids:
+            raise ValueError(f"clip id {clip_id} already indexed")
         self._ids.append(clip_id)
         self._vectors.append(sdl_vector(description))
 
-    def add_batch(self, descriptions: Sequence[ScenarioDescription]) -> None:
-        for i, desc in enumerate(descriptions):
-            self.add(i, desc)
+    def add_batch(self, descriptions: Sequence[ScenarioDescription]
+                  ) -> List[int]:
+        """Append descriptions under fresh sequential ids.
+
+        Ids continue from the current index size, so repeated calls
+        never collide (a second batch used to silently reuse ids
+        0..n-1, corrupting ``retrieval_metrics`` tie resolution).
+        Returns the assigned ids.
+        """
+        start = len(self._ids)
+        ids = list(range(start, start + len(descriptions)))
+        for clip_id, desc in zip(ids, descriptions):
+            self.add(clip_id, desc)
+        return ids
+
+    def add_clips(self, clips: np.ndarray,
+                  extractor=None, cache=None) -> List[int]:
+        """Extract and index clips ``(N, T, C, H, W)`` incrementally.
+
+        Uses the index's configured extractor/cache unless overridden.
+        Cache hits skip the forward pass entirely.  Returns the stable
+        ids assigned to these clips.
+        """
+        from repro.core.cache import cached_extract_batch
+
+        extractor = extractor or self._extractor
+        if extractor is None:
+            raise ValueError("add_clips needs an extractor (pass one "
+                             "here or to the constructor)")
+        cache = cache if cache is not None else self._cache
+        results = cached_extract_batch(extractor, np.asarray(clips), cache)
+        return self.add_batch([r.description for r in results])
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -43,8 +109,7 @@ class RetrievalIndex:
         q = sdl_vector(description)
         norms = np.linalg.norm(matrix, axis=1) * max(np.linalg.norm(q), 1e-9)
         scores = matrix @ q / np.maximum(norms, 1e-9)
-        order = np.argsort(-scores, kind="stable")
-        return [self._ids[i] for i in order[:top_k]]
+        return [self._ids[i] for i in topk_indices(scores, top_k)]
 
 
 def retrieval_metrics(queries: Sequence[ScenarioDescription],

@@ -21,6 +21,7 @@ from repro.eval.experiments import (
 )
 from repro.eval.efficiency import (
     batch_scaling,
+    cache_reuse_curve,
     estimate_flops,
     measure_throughput,
     service_scaling,
@@ -45,6 +46,7 @@ __all__ = [
     "run_fig7_traffic_density",
     "run_fig8_criticality",
     "batch_scaling",
+    "cache_reuse_curve",
     "estimate_flops",
     "measure_throughput",
     "service_scaling",

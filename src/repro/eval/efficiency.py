@@ -198,6 +198,57 @@ def service_scaling(model: Module, requests: int = 32,
     return {"serial": serial, "service": per_level}
 
 
+def cache_reuse_curve(model: Module, corpus_size: int = 12,
+                      reuse_fractions=(0.0, 0.5, 1.0),
+                      seed: int = 0) -> Dict[float, Dict[str, float]]:
+    """Cache hit rate and extraction throughput vs. corpus reuse.
+
+    The mining workload re-describes largely overlapping corpora: each
+    query-over-corpus pass shares most clips with the last.  This curve
+    quantifies the payoff of the persistent extraction cache
+    (``docs/caching.md``): a base corpus is described once to prime an
+    :class:`~repro.core.cache.ExtractionCache`, then for each reuse
+    fraction ``f`` a new corpus containing ``f * corpus_size`` primed
+    clips (rest fresh) is extracted through the cache.
+
+    Maps each fraction to ``hit_rate`` (measured, equals ``f``),
+    ``clips_per_s`` and ``ms_per_clip`` — at full reuse no forward pass
+    runs at all, the regime the second identical ``repro mine``
+    invocation hits.
+    """
+    from repro.core.cache import ExtractionCache, cached_extract_batch
+    from repro.core.pipeline import ScenarioExtractor
+
+    cfg: ModelConfig = model.config
+    rng = np.random.default_rng(seed)
+    shape = (corpus_size, cfg.frames, cfg.channels, cfg.height,
+             cfg.width)
+    base = rng.random(shape).astype(np.float32)
+    extractor = ScenarioExtractor(model)
+    cache = ExtractionCache()
+    cached_extract_batch(extractor, base, cache)  # prime
+
+    curve: Dict[float, Dict[str, float]] = {}
+    for fraction in reuse_fractions:
+        reused = int(round(float(fraction) * corpus_size))
+        fresh = rng.random(shape).astype(np.float32)[reused:]
+        corpus = np.concatenate([base[:reused], fresh]) if reused \
+            else fresh
+        hits_before, misses_before = cache.hits, cache.misses
+        start = time.perf_counter()
+        cached_extract_batch(extractor, corpus, cache)
+        elapsed = time.perf_counter() - start
+        lookups = (cache.hits - hits_before
+                   + cache.misses - misses_before)
+        curve[float(fraction)] = {
+            "hit_rate": ((cache.hits - hits_before) / lookups
+                         if lookups else 0.0),
+            "clips_per_s": corpus_size / elapsed if elapsed else 0.0,
+            "ms_per_clip": elapsed / corpus_size * 1000.0,
+        }
+    return curve
+
+
 def measured_profile(model: Module, batch_size: int = 8,
                      repeats: int = 2, seed: int = 0,
                      autograd_ops: bool = False) -> Dict[str, object]:

@@ -29,6 +29,12 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.core.cache import (
+    ExtractionCache,
+    cache_key,
+    clip_content_hash,
+    extractor_version,
+)
 from repro.core.pipeline import ExtractionResult, ScenarioExtractor
 from repro.nn.module import Module
 from repro.obs import metrics, span
@@ -51,7 +57,8 @@ class ServeResult:
 
     - ``"ok"`` — primary model, bit-identical to a direct
       ``extract_batch`` call (``retries`` > 0 when transient failures
-      were retried away);
+      were retried away; ``cached`` when answered from the extraction
+      cache without touching the queue);
     - ``"degraded"`` — served by the fallback model while the circuit
       breaker was open; ``result`` is present but flagged;
     - ``"shed"`` — rejected at admission (queue full), never queued;
@@ -66,6 +73,7 @@ class ServeResult:
     batch_size: int = 0
     latency_s: float = 0.0
     model_version: int = 0
+    cached: bool = False
     error: str = ""
 
     @property
@@ -81,13 +89,15 @@ class ServeResult:
 class _Request:
     """Internal per-request state; resolution is first-writer-wins."""
 
-    __slots__ = ("request_id", "clip", "enqueued_at", "deadline",
-                 "retries", "_event", "_lock", "result")
+    __slots__ = ("request_id", "clip", "clip_hash", "enqueued_at",
+                 "deadline", "retries", "_event", "_lock", "result")
 
     def __init__(self, request_id: int, clip: np.ndarray,
-                 enqueued_at: float, deadline: float) -> None:
+                 enqueued_at: float, deadline: float,
+                 clip_hash: Optional[str] = None) -> None:
         self.request_id = request_id
         self.clip = clip
+        self.clip_hash = clip_hash
         self.enqueued_at = enqueued_at
         self.deadline = deadline
         self.retries = 0
@@ -243,19 +253,30 @@ class ExtractionService:
         ``ModelConfig`` — cheap, always available, clearly flagged.
     fault_injector:
         Optional :class:`FaultInjector` applied to primary attempts.
+    cache:
+        Optional :class:`~repro.core.cache.ExtractionCache`.  Hits are
+        answered at ``submit`` time — before the micro-batch queue —
+        with ``cached=True``; successful primary results populate it.
+        Entries are keyed by the primary model's content fingerprint,
+        so a hot-reload to different weights never serves stale
+        descriptions (degraded fallback results are never cached).
     """
 
     def __init__(self, extractor: Union[ScenarioExtractor, Module],
                  config: Optional[ServiceConfig] = None,
                  fallback: Optional[Union[ScenarioExtractor,
                                           Module]] = None,
-                 fault_injector: Optional[FaultInjector] = None) -> None:
+                 fault_injector: Optional[FaultInjector] = None,
+                 cache: Optional[ExtractionCache] = None) -> None:
         if isinstance(extractor, Module):
             extractor = ScenarioExtractor(extractor)
         self.config = config or ServiceConfig()
         self._primary = extractor
         self._model_lock = threading.Lock()
         self._model_version = 1
+        self.cache = cache
+        self._cache_version = (extractor_version(extractor)
+                               if cache is not None else "")
         model_cfg = extractor.model.config
         self.clip_shape = (model_cfg.frames, model_cfg.channels,
                            model_cfg.height, model_cfg.width)
@@ -284,6 +305,7 @@ class ExtractionService:
         self._counts_lock = threading.Lock()
         self._retry_counter = metrics.counter("serve.retries")
         self._reload_counter = metrics.counter("serve.reloads")
+        self._cache_hit_counter = metrics.counter("serve.cache_hits")
         self._depth_gauge = metrics.gauge("serve.queue_depth")
         self._batch_hist = metrics.histogram("serve.batch_size",
                                              bounds=BATCH_SIZE_BUCKETS)
@@ -350,8 +372,21 @@ class ExtractionService:
         if timeout is None:
             timeout = self.config.default_timeout_s
         now = time.monotonic()
-        request = _Request(self._allocate_id(), clip, now, now + timeout)
+        clip_hash = (clip_content_hash(clip)
+                     if self.cache is not None else None)
+        request = _Request(self._allocate_id(), clip, now, now + timeout,
+                           clip_hash=clip_hash)
         future = RequestFuture(self, request)
+        if self.cache is not None:
+            with self._queue_cond:
+                if not self._running or self._draining:
+                    raise RuntimeError("service is not running")
+            hit = self.cache.get(self._cache_key(clip_hash))
+            if hit is not None:
+                self._cache_hit_counter.inc()
+                self._finish(request, self._make_result(
+                    request, "ok", result=hit, cached=True))
+                return future
         with self._queue_cond:
             if not self._running or self._draining:
                 raise RuntimeError("service is not running")
@@ -397,6 +432,10 @@ class ExtractionService:
             self._primary = self._primary.clone_with_model(model)
             self._model_version += 1
             version = self._model_version
+            if self.cache is not None:
+                # New weights → new content fingerprint: entries cached
+                # under the old model can never be served again.
+                self._cache_version = extractor_version(self._primary)
         self.breaker.reset()
         self._reload_counter.inc()
         return version
@@ -427,7 +466,7 @@ class ExtractionService:
             status = "degraded"
         with self._counts_lock:
             counts = dict(self._status_counts)
-        return {
+        report = {
             "status": status,
             "ready": self.ready(),
             "queue_depth": depth,
@@ -438,6 +477,9 @@ class ExtractionService:
                          if running else 0.0),
             "requests": counts,
         }
+        if self.cache is not None:
+            report["cache"] = self.cache.stats()
+        return report
 
     def status_counts(self) -> Dict[str, int]:
         """Requests resolved so far, keyed by status."""
@@ -450,10 +492,17 @@ class ExtractionService:
             self._next_id += 1
             return self._next_id
 
+    def _cache_key(self, clip_hash: str) -> str:
+        with self._model_lock:
+            version = self._cache_version
+        return cache_key(clip_hash, version,
+                         self._primary.codec.vocab.content_hash,
+                         self._primary.threshold)
+
     def _make_result(self, request: _Request, status: str,
                      result: Optional[ExtractionResult] = None,
                      batch_size: int = 0, version: int = 0,
-                     error: str = "") -> ServeResult:
+                     cached: bool = False, error: str = "") -> ServeResult:
         return ServeResult(
             request_id=request.request_id,
             status=status,
@@ -462,6 +511,7 @@ class ExtractionService:
             batch_size=batch_size,
             latency_s=time.monotonic() - request.enqueued_at,
             model_version=version or self.model_version,
+            cached=cached,
             error=error,
         )
 
@@ -533,6 +583,7 @@ class ExtractionService:
         with self._model_lock:
             primary = self._primary
             version = self._model_version
+            cache_version = self._cache_version
 
         backoff = self.config.backoff_s
         attempts = 0
@@ -574,6 +625,16 @@ class ExtractionService:
                 self.breaker.record_success()
             status = "ok" if use_primary else "degraded"
             for request, extraction in zip(live, results):
+                if (use_primary and self.cache is not None
+                        and request.clip_hash is not None):
+                    # Keyed by the snapshot taken with the model that
+                    # actually ran — consistent across a mid-batch
+                    # reload.  Fallback results are never cached.
+                    self.cache.put(
+                        cache_key(request.clip_hash, cache_version,
+                                  primary.codec.vocab.content_hash,
+                                  primary.threshold),
+                        extraction)
                 self._finish(request, self._make_result(
                     request, status, result=extraction,
                     batch_size=len(live), version=version))

@@ -139,6 +139,37 @@ class TestMiner:
         with pytest.raises(ValueError):
             miner.query(dataset.descriptions[0], top_k=0)
 
+    def test_query_tags_respects_min_score(self, trained_extractor):
+        """Regression: ``query_tags`` silently dropped ``min_score``,
+        so both query paths must filter identically."""
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index_descriptions(dataset.descriptions)
+        tags = dict(ego_action="stop", actors={"pedestrian"},
+                    actor_actions={"crossing"})
+        via_tags = miner.query_tags(top_k=30, min_score=0.999, **tags)
+        via_query = miner.query(
+            ScenarioDescription(scene="straight-road", ego_action="stop",
+                                actors=frozenset({"pedestrian"}),
+                                actor_actions=frozenset({"crossing"})),
+            top_k=30, min_score=0.999)
+        assert via_tags == via_query
+        assert all(h.score >= 0.999 for h in via_tags)
+        assert len(via_tags) < len(miner.query_tags(top_k=30, **tags))
+
+    def test_min_score_inclusive_at_exact_tie(self, trained_extractor):
+        """Pin: ``min_score`` is an inclusive floor — a hit whose score
+        equals the threshold exactly is still returned."""
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index_descriptions(dataset.descriptions)
+        hits = miner.query(dataset.descriptions[0], top_k=miner.size)
+        pivot = hits[len(hits) // 2]
+        filtered = miner.query(dataset.descriptions[0], top_k=miner.size,
+                               min_score=pivot.score)
+        assert pivot in filtered
+        assert all(h.score >= pivot.score for h in filtered)
+
 
 class TestRetrieval:
     def descriptions(self):
@@ -190,3 +221,15 @@ class TestRetrieval:
         index = RetrievalIndex()
         index.add_batch(self.descriptions())
         assert len(index) == 3
+
+    def test_add_batch_twice_assigns_disjoint_ids(self):
+        """Regression: the second ``add_batch`` restarted clip ids at 0,
+        overwriting the first batch instead of extending the index."""
+        descs = self.descriptions()
+        index = RetrievalIndex()
+        assert index.add_batch(descs[:2]) == [0, 1]
+        assert index.add_batch(descs[2:]) == [2]
+        assert len(index) == 3
+        assert index.query(descs[2], top_k=1) == [2]
+        metrics = retrieval_metrics(descs, index, [0, 1, 2], ks=(1,))
+        assert metrics["recall@1"] == 1.0
