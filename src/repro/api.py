@@ -23,6 +23,7 @@ in :func:`serve` instead (see ``docs/serving.md``).
 
 from __future__ import annotations
 
+import itertools
 import os
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -33,6 +34,9 @@ from repro.core.mining import MiningHit, ScenarioMiner
 from repro.core.pipeline import ExtractionResult, ScenarioExtractor
 from repro.core.retrieval import RetrievalIndex, retrieval_metrics
 from repro.nn.module import Module
+from repro.obs import context as _obs_context
+from repro.obs.events import EventLog
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.sdl.codec import LabelCodec
 from repro.sdl.description import ScenarioDescription
 from repro.serve.client import ServiceClient
@@ -41,6 +45,11 @@ from repro.serve.service import ExtractionService
 
 #: Anything the facade can turn into an extractor.
 ExtractorSource = Union[ScenarioExtractor, Module, str, "os.PathLike"]
+
+#: Request ids for direct facade calls (``extract_clip`` /
+#: ``extract_video``) — same correlation machinery as the service, so
+#: one-shot extractions are also joinable in logs and event streams.
+_api_request_ids = itertools.count(1)
 
 
 def load_extractor(checkpoint: Optional[ExtractorSource] = None, *,
@@ -89,8 +98,15 @@ def _as_cache(cache: Optional[ExtractionCache],
 
 def extract_clip(source: ExtractorSource,
                  clip: np.ndarray) -> ExtractionResult:
-    """Scenario description of a single clip ``(T, C, H, W)``."""
-    return _as_extractor(source).extract(np.asarray(clip))
+    """Scenario description of a single clip ``(T, C, H, W)``.
+
+    The call runs under a fresh correlation context
+    (:mod:`repro.obs.context`): structured log records, cache events
+    and request-scoped spans emitted underneath carry its
+    ``request_id`` / ``trace_id``.
+    """
+    with _obs_context.bind(next(_api_request_ids)):
+        return _as_extractor(source).extract(np.asarray(clip))
 
 
 def extract_video(source: ExtractorSource, video: np.ndarray,
@@ -103,11 +119,14 @@ def extract_video(source: ExtractorSource, video: np.ndarray,
 
     With a cache, windows whose content was described before (under the
     same model version / vocabulary / threshold) skip the forward pass.
+    The whole timeline shares one correlation context (one trace id for
+    the video; see :func:`extract_clip`).
     """
-    return cached_extract_sliding(_as_extractor(source),
-                                  np.asarray(video), window=window,
-                                  stride=stride,
-                                  cache=_as_cache(cache, cache_dir))
+    with _obs_context.bind(next(_api_request_ids)):
+        return cached_extract_sliding(_as_extractor(source),
+                                      np.asarray(video), window=window,
+                                      stride=stride,
+                                      cache=_as_cache(cache, cache_dir))
 
 
 def mine(source: ExtractorSource, clips: np.ndarray,
@@ -154,27 +173,41 @@ def serve(source: ExtractorSource,
           config: Optional[ServiceConfig] = None,
           cache: Optional[ExtractionCache] = None,
           cache_dir: Optional[str] = None,
+          events: Optional[EventLog] = None,
+          events_dir: Optional[str] = None,
+          slo: Optional[Union[SLOConfig, SLOTracker]] = None,
           **config_kwargs) -> ExtractionService:
     """A started :class:`ExtractionService` over ``source``.
 
     Keyword arguments are :class:`ServiceConfig` fields (``max_batch``,
     ``max_wait_s``, ``max_queue`` ...).  ``cache``/``cache_dir`` attach
     an extraction cache: hits answer before the micro-batch queue with
-    ``cached=True``.  Use as a context manager or call ``.stop()``;
-    pair with :class:`ServiceClient` for bursts.
+    ``cached=True``.  ``events``/``events_dir`` attach a structured
+    :class:`~repro.obs.events.EventLog` recording request lifecycles
+    (``repro top --from-events`` reads it live); ``slo`` configures the
+    burn-rate objectives reported by ``health()``.  Use as a context
+    manager or call ``.stop()``; pair with :class:`ServiceClient` for
+    bursts.
     """
     if config is not None and config_kwargs:
         raise ValueError("pass either config or keyword fields, not both")
+    if events is not None and events_dir is not None:
+        raise ValueError("pass either events or events_dir, not both")
     if config is None:
         config = ServiceConfig(**config_kwargs)
+    if events_dir is not None:
+        events = EventLog(events_dir)
     return ExtractionService(_as_extractor(source), config,
-                             cache=_as_cache(cache, cache_dir)).start()
+                             cache=_as_cache(cache, cache_dir),
+                             events=events, slo=slo).start()
 
 
 __all__ = [
+    "EventLog",
     "ExtractionCache",
     "ExtractionResult",
     "ExtractionService",
+    "SLOConfig",
     "MiningHit",
     "RetrievalIndex",
     "ScenarioDescription",

@@ -11,8 +11,13 @@ Commands
   extraction cache so re-runs skip the model entirely
   (see ``docs/caching.md``).
 - ``serve`` — run the fault-tolerant micro-batching extraction service
-  against a dataset burst and report per-status accounting
-  (see ``docs/serving.md``).
+  against a dataset burst and report per-status accounting; with
+  ``--events-dir`` every request lifecycle is recorded to a structured
+  event log (see ``docs/serving.md``).
+- ``top`` — dashboard over a recorded (or live, ``--follow``) event
+  log: throughput, queue depth, batching, breaker state, cache hit
+  rate and firing SLO alerts; ``--json`` prints one ``repro.top/v1``
+  snapshot for CI (see ``docs/observability.md``).
 - ``profile`` — run a short train + extraction workload under telemetry
   and report per-stage latency/throughput (see ``docs/observability.md``).
 
@@ -277,7 +282,9 @@ def cmd_serve(args) -> int:
     import time
     from collections import Counter
 
-    from repro.obs import metrics
+    from repro.obs import metrics, render_prometheus
+    from repro.obs.events import EventLog
+    from repro.obs.slo import SLOConfig
     from repro.serve import (
         BATCH_SIZE_BUCKETS,
         ExtractionService,
@@ -305,7 +312,11 @@ def cmd_serve(args) -> int:
             latency_rate=args.inject_latency_rate,
             seed=args.seed,
         )
-    service = ExtractionService(extractor, config, fault_injector=injector)
+    events = EventLog(args.events_dir) if args.events_dir else None
+    slo = (SLOConfig(latency_threshold_s=args.slo_latency_ms / 1000.0)
+           if args.slo_latency_ms > 0 else None)
+    service = ExtractionService(extractor, config, fault_injector=injector,
+                                events=events, slo=slo)
     clips = [dataset.videos[i % len(dataset.videos)]
              for i in range(args.requests)]
     with service:
@@ -356,11 +367,38 @@ def cmd_serve(args) -> int:
         n = metrics.export_jsonl(args.metrics_out)
         print(f"wrote {n} metric series to {args.metrics_out}",
               file=sys.stderr)
+    if args.prometheus_out:
+        text = render_prometheus(metrics)
+        with open(args.prometheus_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote Prometheus exposition to {args.prometheus_out}",
+              file=sys.stderr)
+    if events is not None:
+        print(f"wrote {events.stats()['events']} events to "
+              f"{args.events_dir}", file=sys.stderr)
     accounted = summary["silent_failures"] == 0
     all_served = served == args.requests
     if not accounted:
         return 1
     return 0 if all_served or args.allow_failures else 1
+
+
+def cmd_top(args) -> int:
+    """``top``: dashboard over a recorded or live event log.
+
+    Computes a ``repro.top/v1`` snapshot purely from ``repro.events/v1``
+    records — the same numbers a live tracker would have reported —
+    including the lifecycle join check CI relies on (every request id
+    enqueued exactly once and resolved exactly once).
+    """
+    from repro.obs.slo import SLOConfig
+    from repro.obs.top import run_top
+
+    slo = (SLOConfig(latency_threshold_s=args.slo_latency_ms / 1000.0)
+           if args.slo_latency_ms > 0 else None)
+    return run_top(args.from_events, json_mode=args.json,
+                   follow=args.follow, interval_s=args.interval,
+                   iterations=args.iterations, slo_config=slo)
 
 
 def cmd_profile(args) -> int:
@@ -487,11 +525,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a JSON summary instead of text")
     serve.add_argument("--metrics-out", default="",
                        help="also export the metrics registry as JSONL")
+    serve.add_argument("--prometheus-out", default="",
+                       help="also export the metrics registry in "
+                            "Prometheus text format")
+    serve.add_argument("--events-dir", default="",
+                       help="record request lifecycle events to this "
+                            "directory (read back with `repro top`)")
+    serve.add_argument("--slo-latency-ms", type=float, default=0.0,
+                       help="enable the latency SLO objective with "
+                            "this threshold")
     serve.add_argument("--allow-failures", action="store_true",
                        help="exit 0 as long as every request is "
                             "accounted for (e.g. under fault injection)")
     _add_model_args(serve)
     serve.set_defaults(fn=cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="dashboard over a recorded or live event log"
+    )
+    top.add_argument("--from-events", required=True,
+                     help="event-log directory (or one JSONL segment) "
+                          "written by `repro serve --events-dir`")
+    top.add_argument("--json", action="store_true",
+                     help="print one repro.top/v1 JSON snapshot and exit")
+    top.add_argument("--follow", action="store_true",
+                     help="refresh the dashboard until interrupted")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh interval for --follow, seconds")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="bound the --follow loop (mainly for tests)")
+    top.add_argument("--slo-latency-ms", type=float, default=0.0,
+                     help="evaluate the latency SLO objective with this "
+                          "threshold during replay")
+    top.set_defaults(fn=cmd_top)
 
     profile = sub.add_parser(
         "profile", help="per-stage latency/throughput report"

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.pipeline import ExtractionResult, ScenarioExtractor
 from repro.nn.module import Module
+from repro.obs import events as obs_events
 from repro.obs import get_logger, metrics
 from repro.sdl.description import ScenarioDescription
 
@@ -190,15 +191,23 @@ class ExtractionCache:
             return key in self._entries
 
     def get(self, key: str) -> Optional[ExtractionResult]:
-        """The cached result for ``key``, counting the hit or miss."""
+        """The cached result for ``key``, counting the hit or miss.
+
+        When an event log is active (:mod:`repro.obs.events`) the
+        lookup also emits a ``cache_hit`` / ``cache_miss`` event,
+        stamped with the request ids of the bound correlation context
+        — which is how a cached serve outcome joins its lifecycle.
+        """
         with self._lock:
             result = self._entries.get(key)
         if result is None:
             self.misses += 1
             metrics.counter("cache.miss").inc()
+            obs_events.emit("cache_miss", key=key)
             return None
         self.hits += 1
         metrics.counter("cache.hit").inc()
+        obs_events.emit("cache_hit", key=key)
         return result
 
     def put(self, key: str, result: ExtractionResult) -> None:

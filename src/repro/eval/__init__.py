@@ -24,6 +24,7 @@ from repro.eval.efficiency import (
     cache_reuse_curve,
     estimate_flops,
     measure_throughput,
+    observability_overhead,
     service_scaling,
 )
 from repro.eval.formatting import format_figure_series, format_table
@@ -49,6 +50,7 @@ __all__ = [
     "cache_reuse_curve",
     "estimate_flops",
     "measure_throughput",
+    "observability_overhead",
     "service_scaling",
     "format_table",
     "format_figure_series",

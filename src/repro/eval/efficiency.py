@@ -198,6 +198,59 @@ def service_scaling(model: Module, requests: int = 32,
     return {"serial": serial, "service": per_level}
 
 
+def observability_overhead(model: Module, requests: int = 32,
+                           concurrency: int = 8, max_batch: int = 8,
+                           max_wait_s: float = 0.002,
+                           seed: int = 0) -> Dict[str, object]:
+    """Serving throughput with the event log off vs. on.
+
+    Runs the same burst through :class:`ExtractionService` twice —
+    once bare, once with an :class:`~repro.obs.events.EventLog`
+    recording every request lifecycle to disk — and reports the
+    throughput of both plus the measured overhead ratio and per-request
+    event count.  This is the number behind the "observability is
+    cheap enough to leave on" claim in ``docs/observability.md``.
+    """
+    import tempfile
+
+    from repro.core.pipeline import ScenarioExtractor
+    from repro.obs.events import EventLog
+    from repro.serve import ExtractionService, ServiceClient, ServiceConfig
+
+    cfg: ModelConfig = model.config
+    rng = np.random.default_rng(seed)
+    clips = rng.random(
+        (requests, cfg.frames, cfg.channels, cfg.height, cfg.width)
+    ).astype(np.float32)
+    extractor = ScenarioExtractor(model)
+    extractor.extract(clips[0])  # warm-up
+    config = ServiceConfig(max_batch=max_batch, max_wait_s=max_wait_s,
+                           max_queue=max(requests, 1))
+
+    def run(events) -> float:
+        with ExtractionService(extractor, config,
+                               events=events) as service:
+            client = ServiceClient(service)
+            start = time.perf_counter()
+            client.extract_many(list(clips), concurrency=concurrency)
+            return time.perf_counter() - start
+
+    bare_elapsed = run(None)
+    with tempfile.TemporaryDirectory() as tmp:
+        log = EventLog(tmp)
+        events_elapsed = run(log)
+        emitted = log.stats()["events"]
+    return {
+        "requests": requests,
+        "bare_clips_per_s": requests / bare_elapsed,
+        "events_clips_per_s": requests / events_elapsed,
+        "overhead_ratio": (events_elapsed / bare_elapsed
+                           if bare_elapsed else 0.0),
+        "events_emitted": emitted,
+        "events_per_request": emitted / requests if requests else 0.0,
+    }
+
+
 def cache_reuse_curve(model: Module, corpus_size: int = 12,
                       reuse_fractions=(0.0, 0.5, 1.0),
                       seed: int = 0) -> Dict[float, Dict[str, float]]:

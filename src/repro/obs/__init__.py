@@ -1,32 +1,54 @@
-"""repro.obs — telemetry: metrics, tracing spans, profiling.
+"""repro.obs — telemetry and request-scoped observability.
 
-The subsystem has three pieces (see ``docs/observability.md``):
+The subsystem has six pieces (see ``docs/observability.md``):
 
 - a process-global :class:`~repro.obs.registry.MetricsRegistry` of
-  counters / gauges / histograms with labels (``metrics``);
+  counters / gauges / histograms with labels (``metrics``), renderable
+  in Prometheus text format (:mod:`repro.obs.exposition`);
 - hierarchical tracing :func:`~repro.obs.tracing.span`\\ s that build an
   aggregated per-thread trace tree;
 - patch-on-enable instrumentation of the autograd op-dispatch surface
   (:mod:`repro.obs.instrument`) plus always-present spans on the
-  train / data / pipeline hot paths.
+  train / data / pipeline hot paths;
+- a contextvar-propagated request **correlation context**
+  (:mod:`repro.obs.context`): request/trace ids minted at intake and
+  stamped onto logs, events and request-scoped spans;
+- the structured **event log** (:mod:`repro.obs.events`): append-only
+  ``repro.events/v1`` JSONL of request lifecycle events with a
+  flight-recorder ring buffer dumped on incidents;
+- **SLOs** (:mod:`repro.obs.slo`): rolling-window objectives with
+  multi-window burn-rate alerts, surfaced by ``service.health()`` and
+  the ``repro top`` dashboard (:mod:`repro.obs.top`).
 
 Everything is **off by default**: :func:`span` is a no-op and the
 autograd ops are the pristine unpatched originals until
-:func:`enable` is called.  ``repro profile`` (see
-:mod:`repro.obs.profiler`) runs a short train + extraction workload
-under telemetry and reports per-stage latency/throughput.
+:func:`enable` is called; events are recorded only when an
+:class:`~repro.obs.events.EventLog` is attached.  ``repro profile``
+(see :mod:`repro.obs.profiler`) runs a short train + extraction
+workload under telemetry and reports per-stage latency/throughput.
 """
 
 from __future__ import annotations
 
-from repro.obs import instrument
+from repro.obs import context, events, exposition, instrument, slo, top
+from repro.obs.context import RequestContext
+from repro.obs.events import EventLog, read_event_log, request_timeline
+from repro.obs.exposition import render_prometheus
 from repro.obs.logs import (
     ConsoleHandler,
+    JsonFormatter,
     TelemetryHandler,
     get_logger,
     set_console,
 )
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.slo import (
+    BurnWindow,
+    RollingQuantile,
+    SLOConfig,
+    SLOTracker,
+    quantile,
+)
 from repro.obs.tracing import (
     SpanNode,
     _set_enabled,
@@ -65,12 +87,22 @@ def reset() -> None:
 
 
 __all__ = [
+    "BurnWindow",
     "ConsoleHandler",
+    "EventLog",
+    "JsonFormatter",
     "MetricsRegistry",
+    "RequestContext",
+    "RollingQuantile",
+    "SLOConfig",
+    "SLOTracker",
     "SpanNode",
     "TelemetryHandler",
+    "context",
     "disable",
     "enable",
+    "events",
+    "exposition",
     "flatten_trace",
     "format_trace",
     "get_logger",
@@ -79,10 +111,16 @@ __all__ = [
     "instrument",
     "is_enabled",
     "metrics",
+    "quantile",
+    "read_event_log",
+    "render_prometheus",
+    "request_timeline",
     "reset",
     "reset_trace",
     "set_console",
+    "slo",
     "span",
+    "top",
     "trace_dict",
     "traced",
 ]

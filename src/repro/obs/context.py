@@ -1,0 +1,112 @@
+"""Request correlation context, propagated via ``contextvars``.
+
+Every externally-triggered unit of work — one ``ExtractionService``
+request, one ``api.extract_clip`` call — gets a :class:`RequestContext`
+carrying a ``request_id`` (caller-scoped integer, e.g. the service's
+request counter) and a ``trace_id`` (process-unique string).  Binding
+the context makes every structured log record
+(:mod:`repro.obs.logs`), every event (:mod:`repro.obs.events`) and
+every correlated span emitted underneath it carry both ids, so one
+grep over the event log reconstructs one request end to end::
+
+    from repro.obs import context
+
+    with context.bind(request_id=7):
+        ...            # logs / events / spans stamped with ids
+
+``contextvars`` (not ``threading.local``) is used so the binding is
+copyable into worker threads and survives generator suspension.  The
+disabled-cost is one ``ContextVar.get`` returning ``None``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "RequestContext",
+    "bind",
+    "current",
+    "current_request_id",
+    "current_trace_id",
+    "mint_trace_id",
+    "run_id",
+]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """The identity of one in-flight request."""
+
+    request_id: int
+    trace_id: str
+
+
+_CURRENT: "contextvars.ContextVar[Optional[RequestContext]]" = \
+    contextvars.ContextVar("repro_request_context", default=None)
+
+# Process-unique run prefix: trace ids from different processes writing
+# to the same event directory can never collide.  Lazy so that fork
+# servers minting after fork get their own pid.
+_RUN_LOCK = threading.Lock()
+_RUN_ID: Optional[str] = None
+_TRACE_COUNTER = itertools.count(1)
+
+
+def run_id() -> str:
+    """This process's trace-id prefix (stable for the process lifetime)."""
+    global _RUN_ID
+    if _RUN_ID is None:
+        with _RUN_LOCK:
+            if _RUN_ID is None:
+                _RUN_ID = f"{os.getpid():x}-{os.urandom(3).hex()}"
+    return _RUN_ID
+
+
+def mint_trace_id(request_id: Optional[int] = None) -> str:
+    """A new process-unique trace id, e.g. ``"3f21-9a0c1b-000007"``.
+
+    The trailing component is the request id when given (so the trace
+    id alone identifies the request), else a process-global counter.
+    """
+    tail = next(_TRACE_COUNTER) if request_id is None else request_id
+    return f"{run_id()}-{tail:06d}"
+
+
+def current() -> Optional[RequestContext]:
+    """The bound :class:`RequestContext`, or ``None`` outside one."""
+    return _CURRENT.get()
+
+
+def current_request_id() -> Optional[int]:
+    ctx = _CURRENT.get()
+    return ctx.request_id if ctx is not None else None
+
+
+def current_trace_id() -> Optional[str]:
+    ctx = _CURRENT.get()
+    return ctx.trace_id if ctx is not None else None
+
+
+@contextmanager
+def bind(request_id: int,
+         trace_id: Optional[str] = None) -> Iterator[RequestContext]:
+    """Bind a request context for the duration of the ``with`` block.
+
+    Mints a fresh trace id unless one is passed (e.g. to re-enter the
+    context of an existing request on another thread).  Nested binds
+    shadow and restore the outer context.
+    """
+    ctx = RequestContext(request_id=request_id,
+                         trace_id=trace_id or mint_trace_id(request_id))
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

@@ -12,16 +12,24 @@ disabled the dispatch path is byte-for-byte the unpatched code — zero
 overhead by construction, which the overhead-guard test asserts
 structurally.
 
-Recorded times are *inclusive*: an op that calls another profiled op
-(``mean`` → ``sum``, ``cross_entropy`` → ``log_softmax``) counts the
-nested time in both series.  Call sites that imported a functional op
-directly (``from ... import softmax``) bypass the module-attribute
-patch and go uncounted; the repo uses ``F.<op>`` module access on the
-hot paths.
+Two time series are recorded per op:
+
+- ``autograd.op.seconds`` — *inclusive*: an op that calls another
+  profiled op (``mean`` → ``sum``, ``cross_entropy`` →
+  ``log_softmax``) counts the nested time in both series, so summing
+  inclusive series across ops double-counts nesting;
+- ``autograd.op.self_seconds`` — *exclusive* (self-time): nested
+  profiled-op time is subtracted, so exclusive times sum to the true
+  wall-clock spent in profiled code and rank ops by their own cost.
+
+Call sites that imported a functional op directly (``from ... import
+softmax``) bypass the module-attribute patch and go uncounted; the
+repo uses ``F.<op>`` module access on the hot paths.
 """
 
 from __future__ import annotations
 
+import threading
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
@@ -29,6 +37,17 @@ from repro.obs.registry import MetricsRegistry, get_registry
 
 _SAVED: List[Tuple[object, str, object]] = []
 _INSTALLED = False
+
+
+class _OpStack(threading.local):
+    """Per-thread stack of in-flight profiled-op child-time
+    accumulators (one mutable cell per frame)."""
+
+    def __init__(self) -> None:
+        self.frames: List[List[float]] = []
+
+
+_STACK = _OpStack()
 
 
 def is_installed() -> bool:
@@ -42,14 +61,24 @@ def _op_label(attr: str) -> str:
 def _wrap(original, op: str, registry: MetricsRegistry):
     calls = registry.counter("autograd.op.calls", op=op)
     seconds = registry.histogram("autograd.op.seconds", op=op)
+    self_seconds = registry.histogram("autograd.op.self_seconds", op=op)
 
     def wrapper(*args, **kwargs):
+        frames = _STACK.frames
+        child_cell = [0.0]
+        frames.append(child_cell)
         start = perf_counter()
         try:
             return original(*args, **kwargs)
         finally:
+            elapsed = perf_counter() - start
+            frames.pop()
             calls.value += 1.0
-            seconds.observe(perf_counter() - start)
+            seconds.observe(elapsed)
+            exclusive = elapsed - child_cell[0]
+            self_seconds.observe(exclusive if exclusive > 0.0 else 0.0)
+            if frames:
+                frames[-1][0] += elapsed
 
     wrapper.__name__ = getattr(original, "__name__", op)
     wrapper.__qualname__ = getattr(original, "__qualname__", op)
@@ -95,16 +124,20 @@ def uninstall() -> None:
 
 def op_totals(registry: Optional[MetricsRegistry] = None
               ) -> Dict[str, Dict[str, float]]:
-    """Per-op ``{"calls", "seconds"}`` aggregated from the registry."""
+    """Per-op ``{"calls", "seconds", "self_seconds"}`` aggregated from
+    the registry (``seconds`` inclusive, ``self_seconds`` exclusive)."""
     registry = registry or get_registry()
     out: Dict[str, Dict[str, float]] = {}
     for metric in registry.series():
         op = metric.labels.get("op")
         if op is None:
             continue
-        entry = out.setdefault(op, {"calls": 0.0, "seconds": 0.0})
+        entry = out.setdefault(op, {"calls": 0.0, "seconds": 0.0,
+                                    "self_seconds": 0.0})
         if metric.name == "autograd.op.calls":
             entry["calls"] += metric.value
         elif metric.name == "autograd.op.seconds":
             entry["seconds"] += metric.sum
+        elif metric.name == "autograd.op.self_seconds":
+            entry["self_seconds"] += metric.sum
     return out

@@ -3,18 +3,29 @@
 Every logger below the ``repro`` root gets a :class:`TelemetryHandler`
 that counts emitted records into the default metrics registry
 (``log.records{logger=...,level=...}``).  :func:`set_console` attaches
-or removes a plain-format handler writing to the *current*
-``sys.stdout``, which is how ``Trainer(verbose=True)`` keeps the same
-visible output the old ``print`` produced (and stays capturable by
-pytest's ``capsys``).
+or removes a console handler writing to the *current* ``sys.stdout``
+in one of two formats:
+
+- **plain** (default) — just the interpolated message, which is how
+  ``Trainer(verbose=True)`` keeps the same visible output the old
+  ``print`` produced (and stays capturable by pytest's ``capsys``);
+- **structured** (``structured=True``) — one JSON object per record
+  carrying ``logger``, ``level``, wall-clock ``ts`` and ``mono``
+  (monotonic) timestamps, the rendered ``message``, and — when a
+  request context is bound (:mod:`repro.obs.context`) — the
+  ``request_id`` / ``trace_id``, so console logs join the event log by
+  id instead of by string matching.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
+import time
 from typing import Optional
 
+from repro.obs import context
 from repro.obs.registry import get_registry
 
 ROOT_LOGGER_NAME = "repro"
@@ -43,6 +54,34 @@ class ConsoleHandler(logging.StreamHandler):
         pass
 
 
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, with correlation ids when bound.
+
+    Fields: ``logger``, ``level``, ``ts`` (epoch seconds from the
+    record itself), ``mono`` (monotonic clock at format time — close
+    enough to emit time for latency arithmetic, and the same clock the
+    event log uses), ``message`` (fully interpolated), and, when a
+    request context is bound on the emitting thread, ``request_id``
+    and ``trace_id``.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "logger": record.name,
+            "level": record.levelname,
+            "ts": record.created,
+            "mono": time.monotonic(),
+            "message": record.getMessage(),
+        }
+        ctx = context.current()
+        if ctx is not None:
+            payload["request_id"] = ctx.request_id
+            payload["trace_id"] = ctx.trace_id
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+        return json.dumps(payload, sort_keys=True)
+
+
 def get_logger(name: str) -> logging.Logger:
     """A logger under the ``repro`` hierarchy with telemetry counting."""
     root = logging.getLogger(ROOT_LOGGER_NAME)
@@ -56,19 +95,30 @@ def get_logger(name: str) -> logging.Logger:
 
 
 def set_console(logger: logging.Logger, enabled: bool = True,
-                level: int = logging.INFO
+                level: int = logging.INFO,
+                structured: bool = False
                 ) -> Optional[logging.Handler]:
-    """Attach (or detach) the plain stdout handler on ``logger``."""
+    """Attach (or detach) the stdout handler on ``logger``.
+
+    ``structured=True`` formats records as JSONL via
+    :class:`JsonFormatter`; the default stays the historical
+    plain-message format.  Re-calling with a different ``structured``
+    value re-formats the existing handler in place, so other handlers
+    on the logger are never touched.
+    """
     existing = [h for h in logger.handlers if isinstance(h, ConsoleHandler)]
     if not enabled:
         for handler in existing:
             logger.removeHandler(handler)
         return None
+    formatter = (JsonFormatter() if structured
+                 else logging.Formatter("%(message)s"))
     if existing:
         existing[0].setLevel(level)
+        existing[0].setFormatter(formatter)
         return existing[0]
     handler = ConsoleHandler()
-    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler.setFormatter(formatter)
     handler.setLevel(level)
     logger.addHandler(handler)
     return handler

@@ -181,7 +181,8 @@ def _top_ops(op_totals: Dict[str, Dict[str, float]],
     ranked = sorted(op_totals.items(), key=lambda kv: -kv[1]["seconds"])
     return [
         {"op": op, "calls": int(info["calls"]),
-         "seconds": info["seconds"]}
+         "seconds": info["seconds"],
+         "self_seconds": info.get("self_seconds", 0.0)}
         for op, info in ranked[:limit]
     ]
 
@@ -325,8 +326,9 @@ def format_report(report: Dict[str, object]) -> str:
     for name, info in report["forward_stages"].items():
         lines.append(f"  {name:<28} {info['ms_total']:9.2f} ms "
                      f"x{info['calls']:<5d} ({info['share'] * 100:5.1f}%)")
-    lines += ["", "hottest autograd ops (inclusive):"]
+    lines += ["", "hottest autograd ops (inclusive / self):"]
     for row in report["autograd_ops"]:
+        self_s = row.get("self_seconds", 0.0)
         lines.append(f"  {row['op']:<16} {row['seconds']:9.4f}s "
-                     f"({row['calls']} calls)")
+                     f"{self_s:9.4f}s ({row['calls']} calls)")
     return "\n".join(lines)

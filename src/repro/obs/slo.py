@@ -1,0 +1,315 @@
+"""Service-level objectives: rolling windows and burn-rate alerts.
+
+Three objectives cover the serving stack (``docs/observability.md``):
+
+- **availability** — fraction of requests that produced a result
+  (``ok`` or ``degraded``; sheds, timeouts and errors consume error
+  budget);
+- **latency** — fraction of served requests completing within a
+  latency threshold (the SLO form of a p95 budget: with
+  ``latency_target=0.95`` the objective is "95% of requests under
+  ``latency_threshold_s``");
+- **cache hit rate** — floor on the extraction-cache hit rate, the
+  invariant behind the mining workload's throughput.
+
+Each objective is evaluated over *rolling time windows* using the
+multi-window burn-rate pattern: the **burn rate** is the observed
+bad-event rate divided by the budgeted bad-event rate (``1 - target``),
+so burn rate 1.0 exhausts the error budget exactly at the end of the
+SLO period.  An alert fires when the burn rate exceeds a factor in
+**both** a long window (sustained, not a blip) and a short window
+(still happening right now).  Defaults are scaled-down versions of the
+classic 1h/5m + 6h/30m pairs so in-process bursts trip them within
+seconds.
+
+The module also hosts the shared quantile helpers —
+:func:`quantile` (nearest-rank, matching the circuit breaker's
+historical p95 definition bit for bit) and :class:`RollingQuantile`
+(windowed, incrementally sorted: O(log n) search + one memmove per
+observation instead of a full sort).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left, insort
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BurnWindow",
+    "RollingQuantile",
+    "SLOConfig",
+    "SLOTracker",
+    "quantile",
+]
+
+
+# ----------------------------------------------------------------------
+# Quantiles
+# ----------------------------------------------------------------------
+def quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile: ``sorted(values)[int(q * (n - 1))]``.
+
+    This is the exact definition the circuit breaker has always used
+    for its p95 latency budget, factored out so the breaker, SLO
+    reports and the dashboard agree on one number.  Raises on empty
+    input.
+    """
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+class RollingQuantile:
+    """Quantiles over the last ``window`` observations, incrementally.
+
+    Maintains the window as a ring buffer plus a sorted list kept in
+    order by ``insort``/``pop`` — inserting an observation is a binary
+    search plus one memmove, instead of the O(n log n) full sort the
+    breaker used to pay per request.  :meth:`value` returns the
+    nearest-rank quantile, bit-identical to
+    ``quantile(list(window), q)``.
+    """
+
+    __slots__ = ("window", "_ring", "_sorted")
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._ring: "deque[float]" = deque()
+        self._sorted: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if len(self._ring) == self.window:
+            oldest = self._ring.popleft()
+            del self._sorted[bisect_left(self._sorted, oldest)]
+        self._ring.append(value)
+        insort(self._sorted, value)
+
+    def value(self, q: float) -> float:
+        """Nearest-rank quantile of the current window contents."""
+        if not self._sorted:
+            raise ValueError("quantile of empty window")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        return self._sorted[int(q * (len(self._sorted) - 1))]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._sorted.clear()
+
+
+# ----------------------------------------------------------------------
+# Objectives
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BurnWindow:
+    """One multi-window burn-rate alert rule.
+
+    Fires when the burn rate exceeds ``factor`` over both the
+    ``long_s`` and ``short_s`` rolling windows.
+    """
+
+    long_s: float
+    short_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.short_s <= 0 or self.long_s < self.short_s:
+            raise ValueError("need 0 < short_s <= long_s")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+
+#: Scaled-down page/ticket pair: fast burn over (30s, 5s), slow burn
+#: over (120s, 15s).  At in-process burst rates these trip in seconds;
+#: a deployment serving real traffic would pass hour-scale windows.
+DEFAULT_WINDOWS: Tuple[BurnWindow, ...] = (
+    BurnWindow(long_s=30.0, short_s=5.0, factor=14.4),
+    BurnWindow(long_s=120.0, short_s=15.0, factor=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives evaluated by :class:`SLOTracker`.
+
+    ``latency_threshold_s=None`` disables the latency objective;
+    ``cache_hit_floor=None`` disables the cache objective (it is also
+    skipped until a cache lookup has been recorded).
+    """
+
+    availability_target: float = 0.99
+    latency_threshold_s: Optional[float] = None
+    latency_target: float = 0.95
+    cache_hit_floor: Optional[float] = None
+    windows: Tuple[BurnWindow, ...] = DEFAULT_WINDOWS
+
+    def __post_init__(self) -> None:
+        for name, target in (("availability_target",
+                              self.availability_target),
+                             ("latency_target", self.latency_target)):
+            if not 0.0 < target < 1.0:
+                raise ValueError(f"{name} must be in (0, 1)")
+        if (self.latency_threshold_s is not None
+                and self.latency_threshold_s <= 0):
+            raise ValueError("latency_threshold_s must be positive")
+        if (self.cache_hit_floor is not None
+                and not 0.0 <= self.cache_hit_floor <= 1.0):
+            raise ValueError("cache_hit_floor must be in [0, 1]")
+        if not self.windows:
+            raise ValueError("need at least one burn window")
+
+
+class _WindowSeries:
+    """(timestamp, good) observations retained up to the longest window."""
+
+    __slots__ = ("_events", "_horizon")
+
+    def __init__(self, horizon_s: float) -> None:
+        self._events: "deque[Tuple[float, bool]]" = deque()
+        self._horizon = horizon_s
+
+    def record(self, good: bool, now: float) -> None:
+        self._events.append((now, bool(good)))
+        cutoff = now - self._horizon
+        while self._events and self._events[0][0] < cutoff:
+            self._events.popleft()
+
+    def stats(self, window_s: float, now: float) -> Tuple[int, int]:
+        """(total, bad) observations within the trailing window."""
+        cutoff = now - window_s
+        total = bad = 0
+        for ts, good in reversed(self._events):
+            if ts < cutoff:
+                break
+            total += 1
+            bad += not good
+        return total, bad
+
+
+class SLOTracker:
+    """Thread-safe rolling-window SLO evaluation with burn-rate alerts.
+
+    The service calls :meth:`record_request` once per resolved request
+    and :meth:`record_cache` once per cache lookup;
+    :meth:`report` evaluates every objective over the configured burn
+    windows.  Timestamps default to ``time.monotonic()`` but can be
+    supplied explicitly, which is how ``repro top --from-events``
+    replays a recorded event log through the identical arithmetic.
+    """
+
+    def __init__(self, config: Optional[SLOConfig] = None) -> None:
+        self.config = config or SLOConfig()
+        horizon = max(w.long_s for w in self.config.windows)
+        self._lock = threading.Lock()
+        self._availability = _WindowSeries(horizon)
+        self._latency = _WindowSeries(horizon)
+        self._cache = _WindowSeries(horizon)
+        self._latencies = RollingQuantile(window=512)
+
+    # -- recording -----------------------------------------------------
+    def record_request(self, served: bool, latency_s: float,
+                       now: Optional[float] = None) -> None:
+        """One resolved request: ``served`` is True for ok/degraded."""
+        now = time.monotonic() if now is None else now
+        threshold = self.config.latency_threshold_s
+        with self._lock:
+            self._availability.record(served, now)
+            if served:
+                self._latencies.add(latency_s)
+                if threshold is not None:
+                    self._latency.record(latency_s <= threshold, now)
+
+    def record_cache(self, hit: bool,
+                     now: Optional[float] = None) -> None:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._cache.record(hit, now)
+
+    # -- evaluation ----------------------------------------------------
+    def report(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Evaluate every objective; JSON-serialisable.
+
+        Returns ``{"objectives": {name: {...}}, "alerts": [...]}``
+        where each firing alert names its objective, window pair and
+        observed burn rates.
+        """
+        now = time.monotonic() if now is None else now
+        cfg = self.config
+        with self._lock:
+            objectives: Dict[str, object] = {}
+            alerts: List[Dict[str, object]] = []
+            specs = [("availability", self._availability,
+                      cfg.availability_target)]
+            if cfg.latency_threshold_s is not None:
+                specs.append(("latency", self._latency,
+                              cfg.latency_target))
+            if cfg.cache_hit_floor is not None:
+                specs.append(("cache_hit_rate", self._cache,
+                              cfg.cache_hit_floor))
+            for name, series, target in specs:
+                objectives[name] = self._evaluate(name, series, target,
+                                                  now, alerts)
+            p95 = (self._latencies.value(0.95)
+                   if len(self._latencies) else None)
+        return {"objectives": objectives, "p95_latency_s": p95,
+                "alerts": alerts}
+
+    def alerts(self, now: Optional[float] = None
+               ) -> List[Dict[str, object]]:
+        """Just the firing alerts (convenience for ``health()``)."""
+        return self.report(now=now)["alerts"]  # type: ignore[return-value]
+
+    def _evaluate(self, name: str, series: _WindowSeries, target: float,
+                  now: float, alerts: List[Dict[str, object]]
+                  ) -> Dict[str, object]:
+        budget = 1.0 - target
+        windows = []
+        for rule in self.config.windows:
+            rates = {}
+            for label, window_s in (("long", rule.long_s),
+                                    ("short", rule.short_s)):
+                total, bad = series.stats(window_s, now)
+                bad_rate = bad / total if total else 0.0
+                rates[label] = {
+                    "window_s": window_s,
+                    "total": total,
+                    "bad": bad,
+                    "bad_rate": bad_rate,
+                    "burn_rate": bad_rate / budget if budget else 0.0,
+                }
+            firing = (rates["long"]["total"] > 0
+                      and rates["long"]["burn_rate"] > rule.factor
+                      and rates["short"]["burn_rate"] > rule.factor)
+            windows.append({"factor": rule.factor, "firing": firing,
+                            **rates})
+            if firing:
+                alerts.append({
+                    "objective": name,
+                    "factor": rule.factor,
+                    "long_window_s": rule.long_s,
+                    "short_window_s": rule.short_s,
+                    "long_burn_rate": rates["long"]["burn_rate"],
+                    "short_burn_rate": rates["short"]["burn_rate"],
+                })
+        total, bad = series.stats(max(w.long_s
+                                      for w in self.config.windows), now)
+        return {
+            "target": target,
+            "observed": (total - bad) / total if total else None,
+            "samples": total,
+            "windows": windows,
+            "firing": any(w["firing"] for w in windows),
+        }

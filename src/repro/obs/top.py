@@ -1,0 +1,339 @@
+"""``repro top`` — live terminal dashboard over the serving stack.
+
+Renders a refreshing view of throughput, queue depth, batch-size
+distribution, circuit-breaker state, cache hit rate and firing SLO
+alerts.  Two sources:
+
+- **a recorded event log** (``--from-events DIR``): the snapshot is
+  computed purely from ``repro.events/v1`` records, so the dashboard
+  replays any burst after the fact — and with ``--follow`` it tails
+  the directory a running ``repro serve --events-dir`` is writing,
+  which is the live mode;
+- **a running in-process service** (:func:`snapshot_from_service`),
+  for notebooks and tests.
+
+``--json`` prints one ``repro.top/v1`` snapshot and exits — the mode
+CI uses to assert that the event log fully accounts for a burst
+(per-status counts, unique ids, every lifecycle joined
+enqueue → terminal).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import Counter as _Counter
+from typing import Dict, List, Optional
+
+from repro.obs import events as events_mod
+from repro.obs.slo import SLOConfig, SLOTracker, quantile
+
+SCHEMA = "repro.top/v1"
+
+#: Request statuses that mean "a result was served".
+_SERVED = ("ok", "degraded")
+
+#: Per-request lifecycle terminal event.
+_TERMINAL = "result"
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
+                         ) -> Dict[str, object]:
+    """A ``repro.top/v1`` snapshot computed from recorded events.
+
+    ``source`` is an event-log directory / JSONL path, or an already
+    loaded list of event records.  Results are replayed through an
+    :class:`SLOTracker` using the events' own monotonic timestamps, so
+    the burn-rate alerts are exactly what a live tracker would have
+    reported at the end of the recording.
+    """
+    if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+        records = events_mod.read_event_log(source)
+    else:
+        records = list(source)
+
+    statuses: "_Counter[str]" = _Counter()
+    batch_sizes: List[float] = []
+    retried_ids = set()
+    cache_hits = cache_misses = 0
+    queue_depth = 0
+    breaker_state = "closed"
+    breaker_trips = 0
+    reloads = 0
+    flight_dumps = 0
+    model_forwards = {"primary": 0, "fallback": 0}
+    tracker = SLOTracker(slo_config)
+    first_mono = last_mono = None
+
+    enqueued = set()
+    terminals: "_Counter[int]" = _Counter()
+    seen_ids = set()
+    trace_ids: Dict[int, set] = {}
+
+    for record in records:
+        mono = record.get("mono")
+        if isinstance(mono, (int, float)):
+            first_mono = mono if first_mono is None else first_mono
+            last_mono = mono
+        event = record.get("event")
+        rid = record.get("request_id")
+        if rid is not None:
+            seen_ids.add(rid)
+            if record.get("trace_id") is not None:
+                trace_ids.setdefault(rid, set()).add(record["trace_id"])
+        if event == "enqueue":
+            enqueued.add(rid)
+            queue_depth = int(record.get("queue_depth", queue_depth))
+        elif event == "flush":
+            batch_sizes.append(float(record.get("batch_size", 0)))
+            for member in record.get("request_ids", ()):
+                seen_ids.add(member)
+        elif event == "cache_hit":
+            cache_hits += 1
+            tracker.record_cache(True, now=mono)
+        elif event == "cache_miss":
+            cache_misses += 1
+            tracker.record_cache(False, now=mono)
+        elif event == "retry":
+            for member in record.get("request_ids", ()):
+                retried_ids.add(member)
+        elif event == "model_forward":
+            model = record.get("model", "primary")
+            model_forwards[model] = model_forwards.get(model, 0) + 1
+        elif event == "breaker_open":
+            breaker_state = "open"
+            breaker_trips += 1
+        elif event == "breaker_close":
+            breaker_state = "closed"
+        elif event == "reload":
+            reloads += 1
+        elif event == "flight_dump":
+            flight_dumps += 1
+        elif event == _TERMINAL:
+            status = record.get("status", "unknown")
+            statuses[status] += 1
+            terminals[rid] += 1
+            tracker.record_request(
+                status in _SERVED,
+                float(record.get("latency_s", 0.0)), now=mono)
+
+    elapsed = ((last_mono - first_mono)
+               if first_mono is not None and last_mono is not None
+               else 0.0)
+    total_results = sum(statuses.values())
+    incomplete = sorted(
+        rid for rid in seen_ids
+        if rid is not None
+        and (rid not in enqueued or terminals.get(rid, 0) == 0)
+    )
+    duplicate_terminals = sorted(rid for rid, n in terminals.items()
+                                 if n > 1)
+    multi_trace = sorted(rid for rid, tids in trace_ids.items()
+                         if len(tids) > 1)
+    return {
+        "schema": SCHEMA,
+        "source": "events",
+        "events": len(records),
+        "elapsed_s": elapsed,
+        "requests": {
+            "total": total_results,
+            "statuses": dict(sorted(statuses.items())),
+            "served": sum(statuses.get(s, 0) for s in _SERVED),
+            "retried": len(retried_ids),
+        },
+        "throughput_rps": (total_results / elapsed if elapsed > 0
+                           else 0.0),
+        "queue_depth": queue_depth,
+        "batches": {
+            "count": len(batch_sizes),
+            "mean_size": (sum(batch_sizes) / len(batch_sizes)
+                          if batch_sizes else 0.0),
+            "max_size": max(batch_sizes, default=0.0),
+            "p95_size": (quantile(batch_sizes, 0.95)
+                         if batch_sizes else 0.0),
+        },
+        "model_forwards": model_forwards,
+        "cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_rate": (cache_hits / (cache_hits + cache_misses)
+                         if cache_hits + cache_misses else 0.0),
+        },
+        "breaker": {
+            "state": breaker_state,
+            "trips": breaker_trips,
+        },
+        "reloads": reloads,
+        "flight_dumps": flight_dumps,
+        "slo": tracker.report(now=last_mono),
+        "lifecycles": {
+            "ids_seen": len(seen_ids),
+            "complete": sum(1 for rid in seen_ids
+                            if rid in enqueued
+                            and terminals.get(rid, 0) == 1),
+            "incomplete_ids": incomplete[:20],
+            "duplicate_terminal_ids": duplicate_terminals[:20],
+            "multi_trace_ids": multi_trace[:20],
+            "fully_joined": (not incomplete and not duplicate_terminals
+                             and not multi_trace),
+        },
+    }
+
+
+def snapshot_from_service(service,
+                          slo_report: Optional[Dict[str, object]] = None
+                          ) -> Dict[str, object]:
+    """A ``repro.top/v1`` snapshot of a running, in-process
+    :class:`~repro.serve.service.ExtractionService`."""
+    from repro.obs import metrics
+    from repro.serve.service import BATCH_SIZE_BUCKETS
+
+    health = service.health()
+    counts = service.status_counts()
+    batch_hist = metrics.histogram("serve.batch_size",
+                                   bounds=BATCH_SIZE_BUCKETS)
+    total = sum(counts.values())
+    uptime = float(health.get("uptime_s") or 0.0)
+    cache = health.get("cache") or {}
+    return {
+        "schema": SCHEMA,
+        "source": "service",
+        "events": None,
+        "elapsed_s": uptime,
+        "requests": {
+            "total": total,
+            "statuses": {k: v for k, v in sorted(counts.items()) if v},
+            "served": counts.get("ok", 0) + counts.get("degraded", 0),
+            "retried": int(metrics.counter("serve.retries").value),
+        },
+        "throughput_rps": total / uptime if uptime > 0 else 0.0,
+        "queue_depth": health["queue_depth"],
+        "batches": {
+            "count": batch_hist.count,
+            "mean_size": batch_hist.mean,
+            "max_size": batch_hist.max if batch_hist.count else 0.0,
+            "p95_size": 0.0,
+        },
+        "model_forwards": {},
+        "cache": {
+            "hits": cache.get("hits", 0),
+            "misses": cache.get("misses", 0),
+            "hit_rate": cache.get("hit_rate", 0.0),
+        },
+        "breaker": {
+            "state": health["breaker"],
+            "trips": int(metrics.counter("serve.breaker_trips").value),
+        },
+        "reloads": int(metrics.counter("serve.reloads").value),
+        "flight_dumps": 0,
+        "slo": slo_report if slo_report is not None
+        else health.get("slo", {"objectives": {}, "alerts": []}),
+        "lifecycles": None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render(snapshot: Dict[str, object]) -> str:
+    """Terminal rendering of one snapshot (fixed-width, ANSI-free)."""
+    req = snapshot["requests"]
+    batches = snapshot["batches"]
+    cache = snapshot["cache"]
+    breaker = snapshot["breaker"]
+    slo = snapshot.get("slo") or {}
+    alerts = slo.get("alerts", [])
+    lines = [
+        f"repro top — {snapshot['source']}"
+        + (f" ({snapshot['events']} events)"
+           if snapshot.get("events") is not None else ""),
+        "",
+        f"  requests   {req['total']:6d} total   "
+        f"{snapshot['throughput_rps']:8.1f} req/s   "
+        f"retried {req['retried']}",
+    ]
+    statuses = req["statuses"]
+    if statuses:
+        lines.append("  statuses   " + "  ".join(
+            f"{status}={n}" for status, n in statuses.items()))
+    lines += [
+        f"  queue      depth {snapshot['queue_depth']}",
+        f"  batches    {batches['count']:6d}        "
+        f"mean {batches['mean_size']:.1f}  "
+        f"max {batches['max_size']:.0f}  p95 {batches['p95_size']:.0f}",
+        f"  cache      {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.0%})",
+        f"  breaker    {breaker['state']} ({breaker['trips']} trips)",
+    ]
+    p95 = slo.get("p95_latency_s")
+    if p95 is not None:
+        lines.append(f"  latency    p95 {p95 * 1e3:.1f} ms")
+    objectives = slo.get("objectives", {})
+    for name, obj in sorted(objectives.items()):
+        observed = obj.get("observed")
+        observed_text = (f"{observed:.4f}" if observed is not None
+                         else "n/a")
+        flag = "FIRING" if obj.get("firing") else "ok"
+        lines.append(f"  slo        {name:<15} target "
+                     f"{obj['target']:.3f}  observed {observed_text}  "
+                     f"[{flag}]")
+    if alerts:
+        lines.append("")
+        for alert in alerts:
+            lines.append(
+                f"  ALERT {alert['objective']}: burn rate "
+                f"{alert['long_burn_rate']:.1f}x over "
+                f"{alert['long_window_s']:.0f}s "
+                f"(>{alert['factor']:.1f}x budget)")
+    lifecycles = snapshot.get("lifecycles")
+    if lifecycles is not None:
+        joined = "yes" if lifecycles["fully_joined"] else "NO"
+        lines += [
+            "",
+            f"  lifecycle  {lifecycles['complete']}/"
+            f"{lifecycles['ids_seen']} complete, fully joined: {joined}",
+        ]
+    return "\n".join(lines)
+
+
+def run_top(from_events: str, json_mode: bool = False,
+            follow: bool = False, interval_s: float = 1.0,
+            iterations: Optional[int] = None, stream=None,
+            slo_config: Optional[SLOConfig] = None) -> int:
+    """CLI driver: snapshot (and optionally follow) an event log.
+
+    ``iterations`` bounds the follow loop (for tests); ``None`` runs
+    until interrupted.
+    """
+    stream = stream or sys.stdout
+    count = 0
+    while True:
+        snapshot = snapshot_from_events(from_events,
+                                        slo_config=slo_config)
+        if json_mode:
+            stream.write(json.dumps(snapshot, indent=2) + "\n")
+        else:
+            if follow:
+                stream.write("\x1b[2J\x1b[H")  # clear + home
+            stream.write(render(snapshot) + "\n")
+        count += 1
+        if not follow or (iterations is not None and count >= iterations):
+            break
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            break
+    return 0
+
+
+__all__ = [
+    "SCHEMA",
+    "render",
+    "run_top",
+    "snapshot_from_events",
+    "snapshot_from_service",
+]

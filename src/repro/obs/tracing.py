@@ -79,6 +79,17 @@ class _TraceState(threading.local):
 
 _STATE = _TraceState()
 
+#: Optional span-exit callback ``(name, seconds)`` — installed by
+#: :func:`repro.obs.events.set_active` to persist request-correlated
+#: spans into the event log.  ``None`` (the default) costs one check.
+_SPAN_HOOK: Optional[Callable[[str, float], None]] = None
+
+
+def set_span_hook(hook: Optional[Callable[[str, float], None]]) -> None:
+    """Install (or with ``None`` remove) the span-exit hook."""
+    global _SPAN_HOOK
+    _SPAN_HOOK = hook
+
 
 class _NoopSpan:
     __slots__ = ()
@@ -121,6 +132,8 @@ class _Span:
         _STATE.stack.pop()
         get_registry().histogram("span.seconds", name=self.name) \
             .observe(elapsed)
+        if _SPAN_HOOK is not None:
+            _SPAN_HOOK(self.name, elapsed)
         return False
 
 

@@ -63,10 +63,16 @@ class ServiceClient:
         bad = [r for r in results if not r.ok]
         if bad and strict:
             statuses = sorted({r.status for r in bad})
+            # Trace ids make the failures greppable in the event log /
+            # structured console output without re-running the burst.
+            traces = [r.trace_id for r in bad[:5] if r.trace_id]
+            trace_note = (f" (failing traces: {', '.join(traces)}"
+                          + (", ..." if len(bad) > 5 else "") + ")"
+                          if traces else "")
             raise RuntimeError(
                 f"{len(bad)}/{len(results)} requests failed "
-                f"(statuses: {statuses}); pass strict=False to mine "
-                "the successful subset"
+                f"(statuses: {statuses}){trace_note}; pass strict=False "
+                "to mine the successful subset"
             )
         miner = ScenarioMiner(self.service._primary)
         descriptions = []

@@ -16,7 +16,20 @@ every request in robustness machinery:
 
 Every request resolves to exactly one :class:`ServeResult` — there are
 no silent failures; the ``serve.*`` metrics in the ``repro.obs``
-registry account for each one.  See ``docs/serving.md``.
+registry account for each one.
+
+Observability (PR 5): every request is minted a correlation
+``trace_id`` (:mod:`repro.obs.context`) stamped onto its
+:class:`ServeResult`, its log records and — when an
+:class:`~repro.obs.events.EventLog` is attached — its lifecycle events
+(``enqueue`` → ``flush``/``cache_hit``/``retry``/... → ``result``).
+Batch-scoped events carry the member ``request_ids``, so one grep
+reconstructs one request across coalesced batches.  An
+:class:`~repro.obs.slo.SLOTracker` evaluates availability / latency /
+cache-hit objectives with burn-rate alerts surfaced via
+:meth:`ExtractionService.health`; the flight-recorder ring is dumped
+automatically when the breaker opens or a request exhausts its
+retries.  See ``docs/serving.md`` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -25,7 +38,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -38,6 +51,10 @@ from repro.core.cache import (
 from repro.core.pipeline import ExtractionResult, ScenarioExtractor
 from repro.nn.module import Module
 from repro.obs import metrics, span
+from repro.obs import context as obs_context
+from repro.obs import events as obs_events
+from repro.obs.events import EventLog
+from repro.obs.slo import RollingQuantile, SLOConfig, SLOTracker
 from repro.serve.config import ServiceConfig
 from repro.serve.faults import FaultInjector, TransientWorkerError
 
@@ -75,6 +92,7 @@ class ServeResult:
     model_version: int = 0
     cached: bool = False
     error: str = ""
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -89,13 +107,16 @@ class ServeResult:
 class _Request:
     """Internal per-request state; resolution is first-writer-wins."""
 
-    __slots__ = ("request_id", "clip", "clip_hash", "enqueued_at",
-                 "deadline", "retries", "_event", "_lock", "result")
+    __slots__ = ("request_id", "trace_id", "clip", "clip_hash",
+                 "enqueued_at", "deadline", "retries", "_event", "_lock",
+                 "result")
 
     def __init__(self, request_id: int, clip: np.ndarray,
                  enqueued_at: float, deadline: float,
-                 clip_hash: Optional[str] = None) -> None:
+                 clip_hash: Optional[str] = None,
+                 trace_id: str = "") -> None:
         self.request_id = request_id
+        self.trace_id = trace_id or obs_context.mint_trace_id(request_id)
         self.clip = clip
         self.clip_hash = clip_hash
         self.enqueued_at = enqueued_at
@@ -130,6 +151,10 @@ class RequestFuture:
     def request_id(self) -> int:
         return self._request.request_id
 
+    @property
+    def trace_id(self) -> str:
+        return self._request.trace_id
+
     def done(self) -> bool:
         return self._request.result is not None
 
@@ -161,7 +186,18 @@ class RequestFuture:
 
 class CircuitBreaker:
     """Closed → open on repeated failure or blown p95 latency budget;
-    open → half-open probe after a cooldown; probe success closes."""
+    open → half-open probe after a cooldown; probe success closes.
+
+    The p95 check uses the shared
+    :class:`~repro.obs.slo.RollingQuantile` — same nearest-rank
+    definition as the historical full-sort (bit-identical trip
+    decisions, pinned by test), but each observation costs a binary
+    search instead of an O(n log n) sort of the window.
+
+    ``on_open`` / ``on_close`` callbacks (set by the service for
+    event-log emission and flight dumps) are invoked *outside* the
+    breaker lock, with a short reason string.
+    """
 
     def __init__(self, config: ServiceConfig) -> None:
         self._config = config
@@ -169,9 +205,11 @@ class CircuitBreaker:
         self._state = "closed"
         self._consecutive_failures = 0
         self._opened_at = 0.0
-        self._latencies: deque = deque(maxlen=config.breaker_window)
+        self._latencies = RollingQuantile(window=config.breaker_window)
         self._gauge = metrics.gauge("serve.breaker_open")
         self._trips = metrics.counter("serve.breaker_trips")
+        self.on_open: Optional[Callable[[str], None]] = None
+        self.on_close: Optional[Callable[[str], None]] = None
 
     @property
     def state(self) -> str:
@@ -193,14 +231,19 @@ class CircuitBreaker:
             return True  # half-open: keep probing
 
     def record_success(self) -> None:
+        closed = False
         with self._lock:
             self._consecutive_failures = 0
             if self._state != "closed":
                 self._state = "closed"
                 self._latencies.clear()
                 self._gauge.set(0.0)
+                closed = True
+        if closed and self.on_close is not None:
+            self.on_close("probe_success")
 
     def record_failure(self) -> None:
+        opened = None
         with self._lock:
             self._consecutive_failures += 1
             tripped = (self._state == "half-open"
@@ -208,26 +251,35 @@ class CircuitBreaker:
                        >= self._config.breaker_failures)
             if tripped:
                 self._trip_locked()
+                opened = "consecutive_failures"
+        if opened is not None and self.on_open is not None:
+            self.on_open(opened)
 
     def record_latency(self, seconds: float) -> None:
         budget = self._config.breaker_latency_budget_s
+        opened = None
         with self._lock:
-            self._latencies.append(seconds)
+            self._latencies.add(seconds)
             if (budget is not None and self._state == "closed"
                     and len(self._latencies)
                     >= self._config.breaker_min_samples):
-                ordered = sorted(self._latencies)
-                p95 = ordered[int(0.95 * (len(ordered) - 1))]
-                if p95 > budget:
+                if self._latencies.value(0.95) > budget:
                     self._trip_locked()
+                    opened = "latency_budget"
+        if opened is not None and self.on_open is not None:
+            self.on_open(opened)
 
     def reset(self) -> None:
         """Back to closed (used after a checkpoint hot-reload)."""
+        closed = False
         with self._lock:
+            closed = self._state != "closed"
             self._state = "closed"
             self._consecutive_failures = 0
             self._latencies.clear()
             self._gauge.set(0.0)
+        if closed and self.on_close is not None:
+            self.on_close("reset")
 
     def _trip_locked(self) -> None:
         self._state = "open"
@@ -260,6 +312,18 @@ class ExtractionService:
         Entries are keyed by the primary model's content fingerprint,
         so a hot-reload to different weights never serves stale
         descriptions (degraded fallback results are never cached).
+    events:
+        Optional :class:`~repro.obs.events.EventLog`.  When attached,
+        every request's lifecycle is recorded (``enqueue`` →
+        terminal ``result``), batch events carry member
+        ``request_ids``, and the flight recorder is dumped on breaker
+        opens / exhausted retries.  ``start()`` installs it as the
+        process-wide active log (so cache and span events correlate);
+        ``stop()`` restores the previous one.
+    slo:
+        :class:`~repro.obs.slo.SLOConfig` (or a prebuilt
+        :class:`~repro.obs.slo.SLOTracker`) for the objectives
+        evaluated in :meth:`health`; defaults to availability-only.
     """
 
     def __init__(self, extractor: Union[ScenarioExtractor, Module],
@@ -267,7 +331,10 @@ class ExtractionService:
                  fallback: Optional[Union[ScenarioExtractor,
                                           Module]] = None,
                  fault_injector: Optional[FaultInjector] = None,
-                 cache: Optional[ExtractionCache] = None) -> None:
+                 cache: Optional[ExtractionCache] = None,
+                 events: Optional[EventLog] = None,
+                 slo: Optional[Union[SLOConfig, SLOTracker]] = None
+                 ) -> None:
         if isinstance(extractor, Module):
             extractor = ScenarioExtractor(extractor)
         self.config = config or ServiceConfig()
@@ -290,6 +357,12 @@ class ExtractionService:
         self._fallback = fallback
         self.fault_injector = fault_injector
         self.breaker = CircuitBreaker(self.config)
+        self.events = events
+        self.slo = (slo if isinstance(slo, SLOTracker)
+                    else SLOTracker(slo))
+        self._prev_active_events: Optional[EventLog] = None
+        self.breaker.on_open = self._on_breaker_open
+        self.breaker.on_close = self._on_breaker_close
 
         self._queue: deque = deque()
         self._queue_cond = threading.Condition()
@@ -320,6 +393,8 @@ class ExtractionService:
             self._running = True
             self._draining = False
             self._started_at = time.monotonic()
+        if self.events is not None:
+            self._prev_active_events = obs_events.set_active(self.events)
         self._worker = threading.Thread(target=self._worker_loop,
                                         name="repro-serve-worker",
                                         daemon=True)
@@ -347,6 +422,9 @@ class ExtractionService:
         if self._worker is not None:
             self._worker.join(timeout)
             self._worker = None
+        if self.events is not None:
+            obs_events.set_active(self._prev_active_events)
+            self._prev_active_events = None
 
     def __enter__(self) -> "ExtractionService":
         return self.start()
@@ -377,27 +455,37 @@ class ExtractionService:
         request = _Request(self._allocate_id(), clip, now, now + timeout,
                            clip_hash=clip_hash)
         future = RequestFuture(self, request)
-        if self.cache is not None:
+        # The bound context makes the cache's hit/miss events and any
+        # request-scoped spans carry this request's ids; ``enqueue`` is
+        # the intake event for *every* request (cached, shed, queued),
+        # so each lifecycle reads enqueue -> terminal ``result``.
+        with obs_context.bind(request.request_id, request.trace_id):
             with self._queue_cond:
                 if not self._running or self._draining:
                     raise RuntimeError("service is not running")
-            hit = self.cache.get(self._cache_key(clip_hash))
-            if hit is not None:
-                self._cache_hit_counter.inc()
-                self._finish(request, self._make_result(
-                    request, "ok", result=hit, cached=True))
-                return future
-        with self._queue_cond:
-            if not self._running or self._draining:
-                raise RuntimeError("service is not running")
-            if len(self._queue) >= self.config.max_queue:
-                self._finish(request, self._make_result(
-                    request, "shed",
-                    error=f"queue full ({self.config.max_queue})"))
-                return future
-            self._queue.append(request)
-            self._depth_gauge.set(float(len(self._queue)))
-            self._queue_cond.notify()
+                depth = len(self._queue)
+            self._emit("enqueue", request, queue_depth=depth)
+            if self.cache is not None:
+                hit = self.cache.get(self._cache_key(clip_hash))
+                self.slo.record_cache(hit is not None)
+                if hit is not None:
+                    self._cache_hit_counter.inc()
+                    self._finish(request, self._make_result(
+                        request, "ok", result=hit, cached=True))
+                    return future
+            with self._queue_cond:
+                if not self._running or self._draining:
+                    raise RuntimeError("service is not running")
+                if len(self._queue) >= self.config.max_queue:
+                    self._emit("shed", request,
+                               queue_depth=len(self._queue))
+                    self._finish(request, self._make_result(
+                        request, "shed",
+                        error=f"queue full ({self.config.max_queue})"))
+                    return future
+                self._queue.append(request)
+                self._depth_gauge.set(float(len(self._queue)))
+                self._queue_cond.notify()
         return future
 
     def extract(self, clip: np.ndarray,
@@ -438,6 +526,7 @@ class ExtractionService:
                 self._cache_version = extractor_version(self._primary)
         self.breaker.reset()
         self._reload_counter.inc()
+        self._emit("reload", version=version)
         return version
 
     @property
@@ -479,6 +568,9 @@ class ExtractionService:
         }
         if self.cache is not None:
             report["cache"] = self.cache.stats()
+        report["slo"] = self.slo.report()
+        if self.events is not None:
+            report["events"] = self.events.stats()
         return report
 
     def status_counts(self) -> Dict[str, int]:
@@ -487,6 +579,29 @@ class ExtractionService:
             return dict(self._status_counts)
 
     # -- internals -----------------------------------------------------
+    def _emit(self, event: str, request: Optional[_Request] = None,
+              **fields) -> None:
+        """Record a lifecycle event when an event log is attached.
+
+        With ``request`` the event is stamped explicitly (works from
+        any thread, bound context or not); without, ids come from the
+        bound context if any (system-scoped events stay unstamped)."""
+        if self.events is None:
+            return
+        if request is not None:
+            self.events.emit(event, request_id=request.request_id,
+                             trace_id=request.trace_id, **fields)
+        else:
+            self.events.emit(event, **fields)
+
+    def _on_breaker_open(self, reason: str) -> None:
+        self._emit("breaker_open", reason=reason)
+        if self.events is not None:
+            self.events.dump_flight(f"breaker_open-{reason}")
+
+    def _on_breaker_close(self, reason: str) -> None:
+        self._emit("breaker_close", reason=reason)
+
     def _allocate_id(self) -> int:
         with self._id_lock:
             self._next_id += 1
@@ -513,6 +628,7 @@ class ExtractionService:
             model_version=version or self.model_version,
             cached=cached,
             error=error,
+            trace_id=request.trace_id,
         )
 
     def _finish(self, request: _Request, result: ServeResult) -> bool:
@@ -525,6 +641,12 @@ class ExtractionService:
             self.breaker.record_latency(result.latency_s)
         with self._counts_lock:
             self._status_counts[result.status] += 1
+        self.slo.record_request(result.ok, result.latency_s)
+        self._emit("result", request, status=result.status,
+                   latency_s=result.latency_s, retries=result.retries,
+                   batch_size=result.batch_size, cached=result.cached,
+                   model_version=result.model_version,
+                   error=result.error)
         return True
 
     def _resolve_timeout(self, request: _Request) -> None:
@@ -579,6 +701,9 @@ class ExtractionService:
             return
         self._batch_hist.observe(float(len(live)))
         clips = np.stack([r.clip for r in live])
+        member_ids = [r.request_id for r in live]
+        self._emit("flush", batch_size=len(live),
+                   request_ids=member_ids)
 
         with self._model_lock:
             primary = self._primary
@@ -605,12 +730,21 @@ class ExtractionService:
                         for request in live:
                             request.retries += 1
                         self._retry_counter.inc(len(live))
+                        self._emit("retry", attempt=attempts,
+                                   request_ids=member_ids,
+                                   error=str(exc))
                         if backoff > 0:
                             time.sleep(backoff)
                         backoff *= self.config.backoff_multiplier
                     else:
                         # retries exhausted: degrade this batch
                         force_fallback = True
+                        self._emit("degrade",
+                                   reason="retries_exhausted",
+                                   request_ids=member_ids,
+                                   error=str(exc))
+                        if self.events is not None:
+                            self.events.dump_flight("retries_exhausted")
                     continue
                 # fallback itself failed transiently: give up explicitly
                 self._fail_batch(live, len(live), version, str(exc))
@@ -624,6 +758,10 @@ class ExtractionService:
             if use_primary:
                 self.breaker.record_success()
             status = "ok" if use_primary else "degraded"
+            self._emit("model_forward",
+                       model="primary" if use_primary else "fallback",
+                       batch_size=len(live), model_version=version,
+                       request_ids=member_ids)
             for request, extraction in zip(live, results):
                 if (use_primary and self.cache is not None
                         and request.clip_hash is not None):
