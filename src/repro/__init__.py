@@ -33,10 +33,14 @@ __version__ = "1.1.0"
 #: Names re-exported lazily from :mod:`repro.api` (PEP 562) so that
 #: ``import repro`` stays cheap and free of circular imports.
 _API_EXPORTS = (
+    "CanaryRefusedError",
+    "DriftConfig",
     "ExtractionCache",
     "ExtractionResult",
     "ExtractionService",
     "MiningHit",
+    "QualityConfig",
+    "QualityMonitor",
     "ScenarioDescription",
     "ScenarioExtractor",
     "ServiceClient",

@@ -35,7 +35,13 @@ from repro.core.pipeline import ExtractionResult, ScenarioExtractor
 from repro.core.retrieval import RetrievalIndex, retrieval_metrics
 from repro.nn.module import Module
 from repro.obs import context as _obs_context
+from repro.obs.drift import DriftConfig
 from repro.obs.events import EventLog
+from repro.obs.quality import (
+    CanaryRefusedError,
+    QualityConfig,
+    QualityMonitor,
+)
 from repro.obs.slo import SLOConfig, SLOTracker
 from repro.sdl.codec import LabelCodec
 from repro.sdl.description import ScenarioDescription
@@ -176,6 +182,7 @@ def serve(source: ExtractorSource,
           events: Optional[EventLog] = None,
           events_dir: Optional[str] = None,
           slo: Optional[Union[SLOConfig, SLOTracker]] = None,
+          quality: Optional[Union[QualityConfig, QualityMonitor]] = None,
           **config_kwargs) -> ExtractionService:
     """A started :class:`ExtractionService` over ``source``.
 
@@ -185,7 +192,11 @@ def serve(source: ExtractorSource,
     ``cached=True``.  ``events``/``events_dir`` attach a structured
     :class:`~repro.obs.events.EventLog` recording request lifecycles
     (``repro top --from-events`` reads it live); ``slo`` configures the
-    burn-rate objectives reported by ``health()``.  Use as a context
+    burn-rate objectives reported by ``health()``; ``quality`` (a
+    :class:`~repro.obs.quality.QualityConfig` or prebuilt monitor)
+    turns on model-quality observability — scorecards, drift alerts
+    and the canary gate on ``reload()`` (refusals raise
+    :class:`~repro.obs.quality.CanaryRefusedError`).  Use as a context
     manager or call ``.stop()``; pair with :class:`ServiceClient` for
     bursts.
     """
@@ -199,14 +210,19 @@ def serve(source: ExtractorSource,
         events = EventLog(events_dir)
     return ExtractionService(_as_extractor(source), config,
                              cache=_as_cache(cache, cache_dir),
-                             events=events, slo=slo).start()
+                             events=events, slo=slo,
+                             quality=quality).start()
 
 
 __all__ = [
+    "CanaryRefusedError",
+    "DriftConfig",
     "EventLog",
     "ExtractionCache",
     "ExtractionResult",
     "ExtractionService",
+    "QualityConfig",
+    "QualityMonitor",
     "SLOConfig",
     "MiningHit",
     "RetrievalIndex",

@@ -13,10 +13,13 @@ Commands
 - ``serve`` — run the fault-tolerant micro-batching extraction service
   against a dataset burst and report per-status accounting; with
   ``--events-dir`` every request lifecycle is recorded to a structured
-  event log (see ``docs/serving.md``).
+  event log (see ``docs/serving.md``); ``--quality`` adds streaming
+  quality scorecards + drift alerts, and ``--canary-checkpoint``
+  attempts a canary-gated hot reload after the burst.
 - ``top`` — dashboard over a recorded (or live, ``--follow``) event
   log: throughput, queue depth, batching, breaker state, cache hit
-  rate and firing SLO alerts; ``--json`` prints one ``repro.top/v1``
+  rate, firing SLO alerts and the quality panel (windows, drift
+  alerts, canary verdicts); ``--json`` prints one ``repro.top/v1``
   snapshot for CI (see ``docs/observability.md``).
 - ``profile`` — run a short train + extraction workload under telemetry
   and report per-stage latency/throughput (see ``docs/observability.md``).
@@ -276,19 +279,29 @@ def cmd_serve(args) -> int:
     :class:`~repro.serve.client.ServiceClient`, and prints the
     per-status accounting plus batching/latency metrics.  Optional
     ``--inject-*`` flags exercise the retry / shedding / degradation
-    paths.  Exit code 0 when every request produced a result (primary
-    or degraded); 1 otherwise unless ``--allow-failures``.
+    paths; ``--quality`` turns on the streaming quality monitor
+    (scorecards + drift alerts), ``--shift-after N`` inverts clip
+    pixels from the N-th request on (an injected distribution shift),
+    and ``--canary-checkpoint PATH`` attempts a canary-gated hot
+    reload after the burst, reporting the verdict.  Exit code 0 when
+    every request produced a result (primary or degraded); 1 otherwise
+    unless ``--allow-failures``.
     """
     import time
     from collections import Counter
 
+    import numpy as np
+
     from repro.obs import metrics, render_prometheus
+    from repro.obs.drift import DriftConfig
     from repro.obs.events import EventLog
     from repro.obs.slo import SLOConfig
     from repro.serve import (
         BATCH_SIZE_BUCKETS,
+        CanaryRefusedError,
         ExtractionService,
         FaultInjector,
+        QualityConfig,
         ServiceClient,
         ServiceConfig,
     )
@@ -313,18 +326,67 @@ def cmd_serve(args) -> int:
             seed=args.seed,
         )
     events = EventLog(args.events_dir) if args.events_dir else None
-    slo = (SLOConfig(latency_threshold_s=args.slo_latency_ms / 1000.0)
-           if args.slo_latency_ms > 0 else None)
+    slo = None
+    if args.slo_latency_ms > 0 or args.confidence_floor > 0:
+        slo = SLOConfig(
+            latency_threshold_s=(args.slo_latency_ms / 1000.0
+                                 if args.slo_latency_ms > 0 else None),
+            confidence_floor=(args.confidence_floor
+                              if args.confidence_floor > 0 else None),
+        )
+    quality = None
+    if args.quality or args.canary_checkpoint:
+        quality = QualityConfig(
+            window=args.quality_window,
+            drift=DriftConfig(
+                reference_size=args.drift_reference,
+                window_size=args.drift_window,
+                min_samples=args.drift_min_samples,
+                psi_threshold=args.drift_psi_threshold,
+            ),
+            canary_sample=args.canary_sample,
+            canary_min_samples=min(4, args.canary_sample),
+            canary_min_agreement=args.canary_floor,
+            seed=args.seed,
+        )
     service = ExtractionService(extractor, config, fault_injector=injector,
-                                events=events, slo=slo)
+                                events=events, slo=slo, quality=quality)
     clips = [dataset.videos[i % len(dataset.videos)]
              for i in range(args.requests)]
+    if args.shift_after > 0:
+        # Injected distribution shift: invert pixel intensities for the
+        # tail of the burst — off-distribution input the drift windows
+        # must notice.
+        clips = [
+            np.ascontiguousarray(1.0 - clip).astype(clip.dtype)
+            if i >= args.shift_after else clip
+            for i, clip in enumerate(clips)
+        ]
+    canary_summary = None
     with service:
         client = ServiceClient(service)
         start = time.perf_counter()
         results = client.extract_many(clips, concurrency=args.concurrency,
                                       timeout=args.timeout)
         elapsed = time.perf_counter() - start
+        if args.canary_checkpoint:
+            version_before = service.model_version
+            try:
+                version_after = service.reload(args.canary_checkpoint)
+                canary_summary = {
+                    "attempted": True,
+                    "accepted": True,
+                    "model_version_before": version_before,
+                    "model_version_after": version_after,
+                }
+            except CanaryRefusedError as exc:
+                canary_summary = {
+                    "attempted": True,
+                    "accepted": False,
+                    "model_version_before": version_before,
+                    "model_version_after": service.model_version,
+                    "verdict": exc.verdict,
+                }
         health = service.health()
 
     counts = Counter(r.status for r in results)
@@ -349,6 +411,14 @@ def cmd_serve(args) -> int:
         },
         "health": health,
     }
+    quality_report = health.get("quality")
+    if quality_report is not None:
+        summary["quality"] = {
+            "windows": quality_report["windows"],
+            "drift_alerts": quality_report["drift"]["alert_count"],
+            "drift_scores": quality_report["drift"]["scores"],
+            "canary": canary_summary,
+        }
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -363,6 +433,16 @@ def cmd_serve(args) -> int:
               f"max {summary['batches']['max_size']:.0f})")
         print(f"  breaker: {health['breaker']}, "
               f"model v{health['model_version']}")
+        if quality_report is not None:
+            alerts = quality_report["drift"]["alert_count"]
+            print(f"  quality: {quality_report['windows']} windows, "
+                  f"{alerts} drift alert{'s' if alerts != 1 else ''}")
+            if canary_summary is not None:
+                outcome = ("accepted" if canary_summary["accepted"]
+                           else "REFUSED")
+                print(f"  canary: reload {outcome} (model "
+                      f"v{canary_summary['model_version_before']} -> "
+                      f"v{canary_summary['model_version_after']})")
     if args.metrics_out:
         n = metrics.export_jsonl(args.metrics_out)
         print(f"wrote {n} metric series to {args.metrics_out}",
@@ -394,8 +474,14 @@ def cmd_top(args) -> int:
     from repro.obs.slo import SLOConfig
     from repro.obs.top import run_top
 
-    slo = (SLOConfig(latency_threshold_s=args.slo_latency_ms / 1000.0)
-           if args.slo_latency_ms > 0 else None)
+    slo = None
+    if args.slo_latency_ms > 0 or args.confidence_floor > 0:
+        slo = SLOConfig(
+            latency_threshold_s=(args.slo_latency_ms / 1000.0
+                                 if args.slo_latency_ms > 0 else None),
+            confidence_floor=(args.confidence_floor
+                              if args.confidence_floor > 0 else None),
+        )
     return run_top(args.from_events, json_mode=args.json,
                    follow=args.follow, interval_s=args.interval,
                    iterations=args.iterations, slo_config=slo)
@@ -534,6 +620,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-latency-ms", type=float, default=0.0,
                        help="enable the latency SLO objective with "
                             "this threshold")
+    serve.add_argument("--confidence-floor", type=float, default=0.0,
+                       help="enable the confidence SLO objective: "
+                            "served results should have mean decode "
+                            "confidence of at least this")
+    serve.add_argument("--quality", action="store_true",
+                       help="enable the streaming quality monitor "
+                            "(scorecards, drift alerts, canary gate)")
+    serve.add_argument("--quality-window", type=int, default=32,
+                       help="quality_window event cadence (requests)")
+    serve.add_argument("--drift-reference", type=int, default=64,
+                       help="observations pinned as the drift "
+                            "reference window")
+    serve.add_argument("--drift-window", type=int, default=64,
+                       help="rolling current-window size for drift "
+                            "scoring")
+    serve.add_argument("--drift-min-samples", type=int, default=24,
+                       help="minimum current-window samples before "
+                            "drift is scored")
+    serve.add_argument("--drift-psi-threshold", type=float, default=0.25,
+                       help="PSI above this (any head, or confidence) "
+                            "fires a drift alert")
+    serve.add_argument("--canary-sample", type=int, default=8,
+                       help="live clips reservoir-sampled for the "
+                            "canary slice")
+    serve.add_argument("--canary-floor", type=float, default=0.8,
+                       help="minimum candidate/serving tag agreement "
+                            "for a reload to be accepted")
+    serve.add_argument("--shift-after", type=int, default=0,
+                       help="invert clip pixels from this request on "
+                            "(injected distribution shift)")
+    serve.add_argument("--canary-checkpoint", default="",
+                       help="after the burst, attempt a canary-gated "
+                            "hot reload of this checkpoint")
     serve.add_argument("--allow-failures", action="store_true",
                        help="exit 0 as long as every request is "
                             "accounted for (e.g. under fault injection)")
@@ -557,6 +676,9 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--slo-latency-ms", type=float, default=0.0,
                      help="evaluate the latency SLO objective with this "
                           "threshold during replay")
+    top.add_argument("--confidence-floor", type=float, default=0.0,
+                     help="evaluate the confidence SLO objective with "
+                          "this floor during replay")
     top.set_defaults(fn=cmd_top)
 
     profile = sub.add_parser(

@@ -258,6 +258,12 @@ def _result_to_record(key: str, result: ExtractionResult) -> dict:
         "confidences": {k: float(v)
                         for k, v in result.confidences.items()},
         "frame_range": list(result.frame_range),
+        # Additive in v1: the cache key is content-addressed (clip ×
+        # model × vocab × threshold), so payload fields never key.
+        "tag_confidences": {
+            head: {tag: float(v) for tag, v in tags.items()}
+            for head, tags in result.tag_confidences.items()
+        },
     }
 
 
@@ -272,6 +278,11 @@ def _record_to_result(record: dict) -> ExtractionResult:
         confidences={k: float(v)
                      for k, v in record["confidences"].items()},
         frame_range=tuple(record["frame_range"]),
+        # Absent in records written before per-tag stamping; tolerate.
+        tag_confidences={
+            head: {tag: float(v) for tag, v in tags.items()}
+            for head, tags in record.get("tag_confidences", {}).items()
+        },
     )
 
 
@@ -329,6 +340,7 @@ def cached_extract_sliding(extractor: ScenarioExtractor,
             sentence=r.sentence,
             confidences=r.confidences,
             frame_range=(start, start + window),
+            tag_confidences=r.tag_confidences,
         )
         for start, r in zip(starts, results)
     ]

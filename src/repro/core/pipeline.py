@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -18,12 +18,21 @@ from repro.sdl.description import ScenarioDescription
 
 @dataclass(frozen=True)
 class ExtractionResult:
-    """One extracted description with its confidence scores."""
+    """One extracted description with its confidence scores.
+
+    ``confidences`` is the per-head summary (max probability);
+    ``tag_confidences`` the full per-tag probabilities under each head
+    — softmax class probabilities for the categorical heads, sigmoid
+    activations for the multi-label heads — stamped at decode time so
+    downstream monitors never re-run the decode.
+    """
 
     description: ScenarioDescription
     sentence: str
     confidences: Dict[str, float]
     frame_range: Tuple[int, int]
+    tag_confidences: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
 
 
 class ScenarioExtractor:
@@ -69,17 +78,47 @@ class ScenarioExtractor:
                     pieces.setdefault(key, []).append(value.data)
         return {k: np.concatenate(v) for k, v in pieces.items()}
 
-    def _confidences(self, logits: Dict[str, np.ndarray],
-                     index: int) -> Dict[str, float]:
-        scene_probs = _softmax(logits["scene"][index])
-        ego_probs = _softmax(logits["ego_action"][index])
+    def _head_probs(self, logits: Dict[str, np.ndarray]
+                    ) -> Dict[str, np.ndarray]:
+        """Per-head probabilities for the whole batch in one pass.
+
+        Softmax over the categorical heads, sigmoid over the
+        multi-label heads — computed once and shared by the summary
+        confidences and the per-tag stamping, so adding the latter
+        costs only dict construction, not a second decode.
+        """
         return {
-            "scene": float(scene_probs.max()),
-            "ego_action": float(ego_probs.max()),
-            "actors": float(_sigmoid(logits["actors"][index]).max(initial=0.0)),
+            "scene": _softmax_rows(logits["scene"]),
+            "ego_action": _softmax_rows(logits["ego_action"]),
+            "actors": _sigmoid(logits["actors"]),
+            "actor_actions": _sigmoid(logits["actor_actions"]),
+        }
+
+    @staticmethod
+    def _confidences(probs: Dict[str, np.ndarray],
+                     index: int) -> Dict[str, float]:
+        return {
+            "scene": float(probs["scene"][index].max()),
+            "ego_action": float(probs["ego_action"][index].max()),
+            "actors": float(probs["actors"][index].max(initial=0.0)),
             "actor_actions": float(
-                _sigmoid(logits["actor_actions"][index]).max(initial=0.0)
-            ),
+                probs["actor_actions"][index].max(initial=0.0)),
+        }
+
+    def _tag_confidences(self, probs: Dict[str, np.ndarray],
+                         index: int) -> Dict[str, Dict[str, float]]:
+        """Per-tag probabilities under every head, named by vocabulary."""
+        vocab = self.codec.vocab
+        return {
+            "scene": dict(zip(vocab.scenes,
+                              probs["scene"][index].tolist())),
+            "ego_action": dict(zip(vocab.ego_actions,
+                                   probs["ego_action"][index].tolist())),
+            "actors": dict(zip(vocab.actor_types,
+                               probs["actors"][index].tolist())),
+            "actor_actions": dict(zip(
+                vocab.actor_actions,
+                probs["actor_actions"][index].tolist())),
         }
 
     def clone_with_model(self, model: Module) -> "ScenarioExtractor":
@@ -116,12 +155,14 @@ class ScenarioExtractor:
                                                    threshold=self.threshold)
         frames = clips.shape[1]
         with span("pipeline/render"):
+            probs = self._head_probs(logits)
             results = [
                 ExtractionResult(
                     description=desc,
                     sentence=desc.to_sentence(),
-                    confidences=self._confidences(logits, i),
+                    confidences=self._confidences(probs, i),
                     frame_range=(0, frames),
+                    tag_confidences=self._tag_confidences(probs, i),
                 )
                 for i, desc in enumerate(descriptions)
             ]
@@ -163,6 +204,7 @@ class ScenarioExtractor:
                 sentence=r.sentence,
                 confidences=r.confidences,
                 frame_range=(start, start + window),
+                tag_confidences=r.tag_confidences,
             )
             for start, r in zip(starts, results)
         ]
@@ -171,6 +213,13 @@ class ScenarioExtractor:
 def _softmax(x: np.ndarray) -> np.ndarray:
     e = np.exp(x - x.max())
     return e / e.sum()
+
+
+def _softmax_rows(x: np.ndarray) -> np.ndarray:
+    """Row-wise softmax over ``(N, K)`` logits — bit-identical per row
+    to :func:`_softmax` on that row."""
+    e = np.exp(x - x.max(axis=-1, keepdims=True))
+    return e / e.sum(axis=-1, keepdims=True)
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:

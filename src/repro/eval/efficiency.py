@@ -202,19 +202,23 @@ def observability_overhead(model: Module, requests: int = 32,
                            concurrency: int = 8, max_batch: int = 8,
                            max_wait_s: float = 0.002,
                            seed: int = 0) -> Dict[str, object]:
-    """Serving throughput with the event log off vs. on.
+    """Serving throughput with observability off vs. on.
 
-    Runs the same burst through :class:`ExtractionService` twice —
-    once bare, once with an :class:`~repro.obs.events.EventLog`
-    recording every request lifecycle to disk — and reports the
-    throughput of both plus the measured overhead ratio and per-request
-    event count.  This is the number behind the "observability is
-    cheap enough to leave on" claim in ``docs/observability.md``.
+    Runs the same burst through :class:`ExtractionService` three times
+    — bare, with an :class:`~repro.obs.events.EventLog` recording
+    every request lifecycle to disk, and with the full
+    :class:`~repro.obs.quality.QualityMonitor` on top (scorecards,
+    drift windows, canary reservoir) — and reports the throughput of
+    each arm plus the measured overhead ratios and per-request event
+    count.  These are the numbers behind the "observability is cheap
+    enough to leave on" claim in ``docs/observability.md``; the bare
+    arm doubles as the <5% disabled-overhead guard in CI.
     """
     import tempfile
 
     from repro.core.pipeline import ScenarioExtractor
     from repro.obs.events import EventLog
+    from repro.obs.quality import QualityConfig
     from repro.serve import ExtractionService, ServiceClient, ServiceConfig
 
     cfg: ModelConfig = model.config
@@ -227,9 +231,9 @@ def observability_overhead(model: Module, requests: int = 32,
     config = ServiceConfig(max_batch=max_batch, max_wait_s=max_wait_s,
                            max_queue=max(requests, 1))
 
-    def run(events) -> float:
-        with ExtractionService(extractor, config,
-                               events=events) as service:
+    def run(events, quality=None) -> float:
+        with ExtractionService(extractor, config, events=events,
+                               quality=quality) as service:
             client = ServiceClient(service)
             start = time.perf_counter()
             client.extract_many(list(clips), concurrency=concurrency)
@@ -240,12 +244,18 @@ def observability_overhead(model: Module, requests: int = 32,
         log = EventLog(tmp)
         events_elapsed = run(log)
         emitted = log.stats()["events"]
+    quality_config = QualityConfig(window=max(requests // 2, 1))
+    with tempfile.TemporaryDirectory() as tmp:
+        quality_elapsed = run(EventLog(tmp), quality=quality_config)
     return {
         "requests": requests,
         "bare_clips_per_s": requests / bare_elapsed,
         "events_clips_per_s": requests / events_elapsed,
+        "quality_clips_per_s": requests / quality_elapsed,
         "overhead_ratio": (events_elapsed / bare_elapsed
                            if bare_elapsed else 0.0),
+        "quality_overhead_ratio": (quality_elapsed / bare_elapsed
+                                   if bare_elapsed else 0.0),
         "events_emitted": emitted,
         "events_per_request": emitted / requests if requests else 0.0,
     }

@@ -18,7 +18,11 @@ The subsystem has six pieces (see ``docs/observability.md``):
   flight-recorder ring buffer dumped on incidents;
 - **SLOs** (:mod:`repro.obs.slo`): rolling-window objectives with
   multi-window burn-rate alerts, surfaced by ``service.health()`` and
-  the ``repro top`` dashboard (:mod:`repro.obs.top`).
+  the ``repro top`` dashboard (:mod:`repro.obs.top`);
+- **model quality** (:mod:`repro.obs.quality` +
+  :mod:`repro.obs.drift`): per-model-version scorecards, PSI/KL drift
+  detection against a pinned reference window, and the shadow canary
+  that gates checkpoint hot-reloads.
 
 Everything is **off by default**: :func:`span` is a no-op and the
 autograd ops are the pristine unpatched originals until
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 from repro.obs import context, events, exposition, instrument, slo, top
 from repro.obs.context import RequestContext
+from repro.obs.drift import DriftConfig, DriftDetector, kl_divergence, psi
 from repro.obs.events import EventLog, read_event_log, request_timeline
 from repro.obs.exposition import render_prometheus
 from repro.obs.logs import (
@@ -89,6 +94,8 @@ def reset() -> None:
 __all__ = [
     "BurnWindow",
     "ConsoleHandler",
+    "DriftConfig",
+    "DriftDetector",
     "EventLog",
     "JsonFormatter",
     "MetricsRegistry",
@@ -110,7 +117,9 @@ __all__ = [
     "get_trace",
     "instrument",
     "is_enabled",
+    "kl_divergence",
     "metrics",
+    "psi",
     "quantile",
     "read_event_log",
     "render_prometheus",

@@ -1,0 +1,331 @@
+"""Input/output drift detection for the serving tier (``repro.obs``).
+
+The extractor's deployed quality cannot be measured directly — there is
+no ground truth for live traffic — but a *shift* in what the model
+emits is measurable: when the distribution of decoded SDL tags or of
+decode confidences moves away from a pinned reference window, the model
+is operating off the distribution it was validated on ("Eyes on the
+Road" shows traffic-video models degrade sharply there).  This module
+hosts the math and the streaming detector:
+
+- :func:`psi` — the population stability index between two discrete
+  distributions, the standard banking/ML-ops drift score
+  (``< 0.1`` stable, ``0.1–0.25`` moderate, ``> 0.25`` major shift);
+- :func:`kl_divergence` — Kullback–Leibler divergence, reported
+  alongside PSI for the confidence histograms (PSI is symmetric-ish
+  and bounded-ish; KL weights tail collapse more heavily);
+- :class:`DriftDetector` — consumes one decoded result at a time,
+  pins the first ``reference_size`` observations as the reference
+  window, maintains a rolling current window, and scores per-head
+  tag-distribution PSI plus confidence-distribution PSI/KL with
+  explicit warmup and min-sample guards (no score, and therefore no
+  alert, until both windows are populated).
+
+The detector is pure accounting — it never emits events or metrics
+itself; :class:`repro.obs.quality.QualityMonitor` owns one and turns
+threshold crossings into ``drift_alert`` events, gauges and alerts.
+See ``docs/observability.md`` ("Quality monitoring & canary reloads").
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DriftConfig",
+    "DriftDetector",
+    "confidence_bin",
+    "kl_divergence",
+    "psi",
+]
+
+#: Heads whose decoded tags feed the tag-distribution windows.
+_CATEGORICAL_HEADS = ("scene", "ego_action")
+_MULTILABEL_HEADS = ("actors", "actor_actions")
+
+
+# ----------------------------------------------------------------------
+# Divergence math
+# ----------------------------------------------------------------------
+def _as_distribution(counts: Sequence[float], epsilon: float) -> np.ndarray:
+    """Counts → probabilities with an epsilon floor (then renormalised).
+
+    The floor keeps empty bins from producing infinite scores — the
+    conventional PSI smoothing — while preserving ``p.sum() == 1``.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("expected a non-empty 1-D count/probability vector")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("distribution has no mass")
+    probs = np.maximum(counts / total, epsilon)
+    return probs / probs.sum()
+
+
+def psi(reference: Sequence[float], current: Sequence[float],
+        epsilon: float = 1e-4) -> float:
+    """Population stability index between two count/probability vectors.
+
+    ``sum((p_cur - p_ref) * ln(p_cur / p_ref))`` over bins, with both
+    sides epsilon-smoothed.  Zero iff the (smoothed) distributions are
+    identical; always non-negative.
+    """
+    ref = _as_distribution(reference, epsilon)
+    cur = _as_distribution(current, epsilon)
+    if ref.shape != cur.shape:
+        raise ValueError(
+            f"distribution shapes differ: {ref.shape} vs {cur.shape}"
+        )
+    return float(np.sum((cur - ref) * np.log(cur / ref)))
+
+
+def kl_divergence(p: Sequence[float], q: Sequence[float],
+                  epsilon: float = 1e-4) -> float:
+    """``KL(p || q)`` over count/probability vectors, epsilon-smoothed.
+
+    Measured in nats.  Zero iff the (smoothed) distributions agree.
+    """
+    p_probs = _as_distribution(p, epsilon)
+    q_probs = _as_distribution(q, epsilon)
+    if p_probs.shape != q_probs.shape:
+        raise ValueError(
+            f"distribution shapes differ: {p_probs.shape} vs "
+            f"{q_probs.shape}"
+        )
+    return float(np.sum(p_probs * np.log(p_probs / q_probs)))
+
+
+def confidence_bin(confidence: float, n_bins: int) -> int:
+    """Equal-width bin index for a confidence in [0, 1].
+
+    Matches the ``(low, high]`` binning of
+    :func:`repro.eval.calibration.reliability_bins` (0.0 lands in the
+    first bin), so drift histograms and calibration bins line up.
+    """
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    confidence = min(max(float(confidence), 0.0), 1.0)
+    if confidence <= 0.0:
+        return 0
+    index = int(np.ceil(confidence * n_bins)) - 1
+    return min(index, n_bins - 1)
+
+
+# ----------------------------------------------------------------------
+# Streaming detector
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs of :class:`DriftDetector`.
+
+    ``reference_size`` observations are pinned as the reference window
+    (warmup: no scores before it fills); the current window holds the
+    most recent ``window_size`` observations and produces no scores
+    below ``min_samples`` (guard against noisy tiny-sample PSI).  An
+    alert condition is ``tag PSI > psi_threshold`` on any head, or
+    ``confidence PSI > psi_threshold``, or
+    ``confidence KL > kl_threshold``.
+    """
+
+    reference_size: int = 64
+    window_size: int = 64
+    min_samples: int = 24
+    confidence_bins: int = 10
+    psi_threshold: float = 0.25
+    kl_threshold: float = 0.5
+    epsilon: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.reference_size <= 0 or self.window_size <= 0:
+            raise ValueError("window sizes must be positive")
+        if not 0 < self.min_samples <= self.window_size:
+            raise ValueError("need 0 < min_samples <= window_size")
+        if self.confidence_bins <= 0:
+            raise ValueError("confidence_bins must be positive")
+        if self.psi_threshold <= 0 or self.kl_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+
+
+class _Observation:
+    """Compact per-result record kept in the rolling window."""
+
+    __slots__ = ("tag_indices", "confidence_bins")
+
+    def __init__(self, tag_indices: Dict[str, List[int]],
+                 confidence_bins: List[int]) -> None:
+        self.tag_indices = tag_indices
+        self.confidence_bins = confidence_bins
+
+
+class DriftDetector:
+    """Streaming tag- and confidence-distribution drift scoring.
+
+    Parameters
+    ----------
+    vocab:
+        The SDL :class:`~repro.sdl.vocabulary.Vocabulary` — its tag
+        order sizes the per-head count vectors.
+    config:
+        :class:`DriftConfig` windows and thresholds.
+
+    Feed one decoded result at a time via :meth:`observe`; read
+    :meth:`scores` (``None`` while a guard is active) and
+    :meth:`check` (threshold verdict).  Thread-safe.
+    """
+
+    def __init__(self, vocab, config: Optional[DriftConfig] = None) -> None:
+        self.config = config or DriftConfig()
+        self.vocab = vocab
+        self._lock = threading.Lock()
+        self._head_tags: Dict[str, Tuple[str, ...]] = {
+            "scene": tuple(vocab.scenes),
+            "ego_action": tuple(vocab.ego_actions),
+            "actors": tuple(vocab.actor_types),
+            "actor_actions": tuple(vocab.actor_actions),
+        }
+        self._tag_index = {
+            head: {tag: i for i, tag in enumerate(tags)}
+            for head, tags in self._head_tags.items()
+        }
+        self._reference_n = 0
+        self._ref_tags = {head: np.zeros(len(tags), dtype=np.float64)
+                          for head, tags in self._head_tags.items()}
+        self._ref_conf = np.zeros(self.config.confidence_bins,
+                                  dtype=np.float64)
+        self._window: Deque[_Observation] = deque()
+        self._win_tags = {head: np.zeros(len(tags), dtype=np.float64)
+                          for head, tags in self._head_tags.items()}
+        self._win_conf = np.zeros(self.config.confidence_bins,
+                                  dtype=np.float64)
+        self._observed = 0
+
+    # -- intake --------------------------------------------------------
+    def _encode(self, description,
+                confidences: Dict[str, float]) -> _Observation:
+        tag_indices: Dict[str, List[int]] = {}
+        tag_indices["scene"] = [self._tag_index["scene"][description.scene]]
+        tag_indices["ego_action"] = [
+            self._tag_index["ego_action"][description.ego_action]]
+        tag_indices["actors"] = sorted(
+            self._tag_index["actors"][a] for a in description.actors)
+        tag_indices["actor_actions"] = sorted(
+            self._tag_index["actor_actions"][a]
+            for a in description.actor_actions)
+        bins = [confidence_bin(confidences[head],
+                               self.config.confidence_bins)
+                for head in sorted(confidences)]
+        return _Observation(tag_indices, bins)
+
+    def observe(self, description, confidences: Dict[str, float]) -> None:
+        """Account one decoded result.
+
+        ``description`` is the decoded
+        :class:`~repro.sdl.description.ScenarioDescription`;
+        ``confidences`` the per-head decode confidences (the
+        ``ExtractionResult.confidences`` dict).  The first
+        ``reference_size`` observations pin the reference; later ones
+        roll through the current window.
+        """
+        obs = self._encode(description, confidences)
+        with self._lock:
+            self._observed += 1
+            if self._reference_n < self.config.reference_size:
+                self._reference_n += 1
+                self._accumulate(obs, self._ref_tags, self._ref_conf, +1.0)
+                return
+            self._window.append(obs)
+            self._accumulate(obs, self._win_tags, self._win_conf, +1.0)
+            if len(self._window) > self.config.window_size:
+                evicted = self._window.popleft()
+                self._accumulate(evicted, self._win_tags, self._win_conf,
+                                 -1.0)
+
+    def _accumulate(self, obs: _Observation, tags, conf,
+                    sign: float) -> None:
+        for head, indices in obs.tag_indices.items():
+            for index in indices:
+                tags[head][index] += sign
+        for bin_index in obs.confidence_bins:
+            conf[bin_index] += sign
+
+    def pin_reference(self) -> None:
+        """Restart reference collection from the next observation.
+
+        Used after an *accepted* model swap: the old model's output
+        distribution is no longer the yardstick for the new one.
+        """
+        with self._lock:
+            self._reference_n = 0
+            for head in self._ref_tags:
+                self._ref_tags[head][:] = 0.0
+                self._win_tags[head][:] = 0.0
+            self._ref_conf[:] = 0.0
+            self._win_conf[:] = 0.0
+            self._window.clear()
+
+    # -- scoring -------------------------------------------------------
+    @property
+    def warmed_up(self) -> bool:
+        with self._lock:
+            return self._reference_n >= self.config.reference_size
+
+    def scores(self) -> Optional[Dict[str, object]]:
+        """Current drift scores, or ``None`` while a guard is active.
+
+        Guards: the reference window must be fully pinned (warmup) and
+        the current window must hold at least ``min_samples``
+        observations — partial windows produce garbage PSI.
+        """
+        with self._lock:
+            if self._reference_n < self.config.reference_size:
+                return None
+            if len(self._window) < self.config.min_samples:
+                return None
+            epsilon = self.config.epsilon
+            tag_psi = {}
+            for head in self._head_tags:
+                ref = self._ref_tags[head]
+                cur = self._win_tags[head]
+                # A multilabel head where no tag fired in a window has
+                # no mass to compare — report 0 (no evidence of drift).
+                if ref.sum() <= 0 or cur.sum() <= 0:
+                    tag_psi[head] = 0.0
+                else:
+                    tag_psi[head] = psi(ref, cur, epsilon)
+            conf_psi = psi(self._ref_conf, self._win_conf, epsilon)
+            conf_kl = kl_divergence(self._win_conf, self._ref_conf,
+                                    epsilon)
+            return {
+                "tag_psi": tag_psi,
+                "tag_psi_max": max(tag_psi.values()),
+                "confidence_psi": conf_psi,
+                "confidence_kl": conf_kl,
+                "reference_samples": self._reference_n,
+                "window_samples": len(self._window),
+                "observed": self._observed,
+            }
+
+    def check(self) -> Tuple[bool, Optional[Dict[str, object]]]:
+        """``(drifting, scores)`` under the configured thresholds.
+
+        ``drifting`` is ``False`` whenever :meth:`scores` is guarded
+        (``None``) — a warmup can never fire an alert.
+        """
+        scores = self.scores()
+        if scores is None:
+            return False, None
+        cfg = self.config
+        drifting = (scores["tag_psi_max"] > cfg.psi_threshold
+                    or scores["confidence_psi"] > cfg.psi_threshold
+                    or scores["confidence_kl"] > cfg.kl_threshold)
+        return drifting, scores

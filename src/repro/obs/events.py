@@ -307,8 +307,18 @@ def read_events(path: str) -> Iterator[dict]:
     Mirrors the extraction-cache loader: a torn write or garbled line
     increments ``events.corrupt`` and is skipped — never fatal, so a
     crash mid-write costs at most the final record.
+
+    Forward-compatible: records from any *newer* ``repro.events/*``
+    schema revision are yielded (counting ``events.forward_compat``),
+    not rejected — a dashboard built against v1 must keep rendering a
+    log written by a newer writer, ignoring fields and event types it
+    does not know.  Only records from a different format family (or
+    with no ``event`` name) count as corrupt.
     """
-    corrupt = get_registry().counter("events.corrupt")
+    registry = get_registry()
+    corrupt = registry.counter("events.corrupt")
+    forward = registry.counter("events.forward_compat")
+    family = EVENTS_FORMAT.rsplit("/", 1)[0] + "/"
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -316,14 +326,17 @@ def read_events(path: str) -> Iterator[dict]:
                 continue
             try:
                 record = json.loads(line)
-                if record.get("schema") != EVENTS_FORMAT:
-                    raise ValueError("unknown event schema "
-                                     f"{record.get('schema')!r}")
+                schema = record.get("schema")
+                if not (isinstance(schema, str)
+                        and schema.startswith(family)):
+                    raise ValueError(f"unknown event schema {schema!r}")
                 if "event" not in record:
                     raise ValueError("record missing 'event'")
             except Exception:
                 corrupt.inc()
                 continue
+            if record["schema"] != EVENTS_FORMAT:
+                forward.inc()
             yield record
 
 

@@ -10,7 +10,11 @@ Three objectives cover the serving stack (``docs/observability.md``):
   ``latency_target=0.95`` the objective is "95% of requests under
   ``latency_threshold_s``");
 - **cache hit rate** — floor on the extraction-cache hit rate, the
-  invariant behind the mining workload's throughput.
+  invariant behind the mining workload's throughput;
+- **confidence** (PR 6) — floor on each served result's mean decode
+  confidence, the quality objective: a model drifting off its
+  validated distribution burns this budget before any offline eval
+  notices.
 
 Each objective is evaluated over *rolling time windows* using the
 multi-window burn-rate pattern: the **burn rate** is the observed
@@ -147,19 +151,26 @@ class SLOConfig:
 
     ``latency_threshold_s=None`` disables the latency objective;
     ``cache_hit_floor=None`` disables the cache objective (it is also
-    skipped until a cache lookup has been recorded).
+    skipped until a cache lookup has been recorded);
+    ``confidence_floor=None`` disables the quality-confidence
+    objective ("``confidence_target`` of served results have mean
+    decode confidence of at least ``confidence_floor``").
     """
 
     availability_target: float = 0.99
     latency_threshold_s: Optional[float] = None
     latency_target: float = 0.95
     cache_hit_floor: Optional[float] = None
+    confidence_floor: Optional[float] = None
+    confidence_target: float = 0.95
     windows: Tuple[BurnWindow, ...] = DEFAULT_WINDOWS
 
     def __post_init__(self) -> None:
         for name, target in (("availability_target",
                               self.availability_target),
-                             ("latency_target", self.latency_target)):
+                             ("latency_target", self.latency_target),
+                             ("confidence_target",
+                              self.confidence_target)):
             if not 0.0 < target < 1.0:
                 raise ValueError(f"{name} must be in (0, 1)")
         if (self.latency_threshold_s is not None
@@ -168,6 +179,9 @@ class SLOConfig:
         if (self.cache_hit_floor is not None
                 and not 0.0 <= self.cache_hit_floor <= 1.0):
             raise ValueError("cache_hit_floor must be in [0, 1]")
+        if (self.confidence_floor is not None
+                and not 0.0 <= self.confidence_floor <= 1.0):
+            raise ValueError("confidence_floor must be in [0, 1]")
         if not self.windows:
             raise ValueError("need at least one burn window")
 
@@ -217,6 +231,7 @@ class SLOTracker:
         self._availability = _WindowSeries(horizon)
         self._latency = _WindowSeries(horizon)
         self._cache = _WindowSeries(horizon)
+        self._confidence = _WindowSeries(horizon)
         self._latencies = RollingQuantile(window=512)
 
     # -- recording -----------------------------------------------------
@@ -237,6 +252,20 @@ class SLOTracker:
         now = time.monotonic() if now is None else now
         with self._lock:
             self._cache.record(hit, now)
+
+    def record_confidence(self, mean_confidence: float,
+                          now: Optional[float] = None) -> None:
+        """One served result's mean decode confidence.
+
+        A no-op unless ``confidence_floor`` is configured — the
+        service calls this unconditionally for every served result.
+        """
+        if self.config.confidence_floor is None:
+            return
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._confidence.record(
+                mean_confidence >= self.config.confidence_floor, now)
 
     # -- evaluation ----------------------------------------------------
     def report(self, now: Optional[float] = None) -> Dict[str, object]:
@@ -259,6 +288,9 @@ class SLOTracker:
             if cfg.cache_hit_floor is not None:
                 specs.append(("cache_hit_rate", self._cache,
                               cfg.cache_hit_floor))
+            if cfg.confidence_floor is not None:
+                specs.append(("confidence", self._confidence,
+                              cfg.confidence_target))
             for name, series, target in specs:
                 objectives[name] = self._evaluate(name, series, target,
                                                   now, alerts)

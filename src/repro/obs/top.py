@@ -1,8 +1,10 @@
 """``repro top`` — live terminal dashboard over the serving stack.
 
 Renders a refreshing view of throughput, queue depth, batch-size
-distribution, circuit-breaker state, cache hit rate and firing SLO
-alerts.  Two sources:
+distribution, circuit-breaker state, cache hit rate, firing SLO
+alerts and — when quality monitoring is on — a quality panel
+(``quality_window`` cadence, drift alerts, canary verdicts).  Two
+sources:
 
 - **a recorded event log** (``--from-events DIR``): the snapshot is
   computed purely from ``repro.events/v1`` records, so the dashboard
@@ -66,6 +68,11 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
     reloads = 0
     flight_dumps = 0
     model_forwards = {"primary": 0, "fallback": 0}
+    quality_windows = 0
+    last_window: Optional[Dict[str, object]] = None
+    drift_alerts: List[Dict[str, object]] = []
+    canary = {"starts": 0, "accepted": 0, "refused": 0}
+    last_verdict: Optional[Dict[str, object]] = None
     tracker = SLOTracker(slo_config)
     first_mono = last_mono = None
 
@@ -113,6 +120,34 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
             reloads += 1
         elif event == "flight_dump":
             flight_dumps += 1
+        elif event == "quality_window":
+            quality_windows += 1
+            last_window = {
+                "window": record.get("window"),
+                "requests": record.get("requests"),
+                "mean_confidence": record.get("mean_confidence"),
+                "model_version": record.get("model_version"),
+            }
+        elif event == "drift_alert":
+            drift_alerts.append({
+                "tag_psi_max": record.get("tag_psi_max"),
+                "confidence_psi": record.get("confidence_psi"),
+                "confidence_kl": record.get("confidence_kl"),
+                "model_version": record.get("model_version"),
+            })
+        elif event == "canary_start":
+            canary["starts"] += 1
+        elif event == "canary_verdict":
+            outcome = ("accepted" if record.get("accepted")
+                       else "refused")
+            canary[outcome] += 1
+            last_verdict = {
+                "accepted": bool(record.get("accepted")),
+                "agreement": record.get("agreement"),
+                "confidence_shift": record.get("confidence_shift"),
+                "agreement_floor": record.get("agreement_floor"),
+                "samples": record.get("samples"),
+            }
         elif event == _TERMINAL:
             status = record.get("status", "unknown")
             statuses[status] += 1
@@ -120,6 +155,9 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
             tracker.record_request(
                 status in _SERVED,
                 float(record.get("latency_s", 0.0)), now=mono)
+            confidence = record.get("mean_confidence")
+            if isinstance(confidence, (int, float)):
+                tracker.record_confidence(float(confidence), now=mono)
 
     elapsed = ((last_mono - first_mono)
                if first_mono is not None and last_mono is not None
@@ -169,6 +207,13 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
         },
         "reloads": reloads,
         "flight_dumps": flight_dumps,
+        "quality": {
+            "windows": quality_windows,
+            "last_window": last_window,
+            "drift_alerts": len(drift_alerts),
+            "last_drift": drift_alerts[-1] if drift_alerts else None,
+            "canary": {**canary, "last_verdict": last_verdict},
+        },
         "slo": tracker.report(now=last_mono),
         "lifecycles": {
             "ids_seen": len(seen_ids),
@@ -194,6 +239,30 @@ def snapshot_from_service(service,
 
     health = service.health()
     counts = service.status_counts()
+    quality_report = health.get("quality")
+    if quality_report is not None:
+        canary = quality_report["canary"]
+        models = quality_report.get("models", {})
+        latest = (models[max(models)] if models else None)
+        quality = {
+            "windows": quality_report["windows"],
+            "last_window": (
+                {"requests": latest["requests"],
+                 "mean_confidence": latest["mean_confidence"]}
+                if latest else None),
+            "drift_alerts": quality_report["drift"]["alert_count"],
+            "last_drift": (quality_report["drift"]["alerts"][-1]
+                           if quality_report["drift"]["alerts"]
+                           else None),
+            "canary": {
+                "starts": canary["starts"],
+                "accepted": canary["accepted"],
+                "refused": canary["refused"],
+                "last_verdict": canary["last_verdict"],
+            },
+        }
+    else:
+        quality = None
     batch_hist = metrics.histogram("serve.batch_size",
                                    bounds=BATCH_SIZE_BUCKETS)
     total = sum(counts.values())
@@ -230,6 +299,7 @@ def snapshot_from_service(service,
         },
         "reloads": int(metrics.counter("serve.reloads").value),
         "flight_dumps": 0,
+        "quality": quality,
         "slo": slo_report if slo_report is not None
         else health.get("slo", {"objectives": {}, "alerts": []}),
         "lifecycles": None,
@@ -272,6 +342,38 @@ def render(snapshot: Dict[str, object]) -> str:
     p95 = slo.get("p95_latency_s")
     if p95 is not None:
         lines.append(f"  latency    p95 {p95 * 1e3:.1f} ms")
+    quality = snapshot.get("quality")
+    if quality is not None and (quality["windows"] or
+                                quality["drift_alerts"] or
+                                quality["canary"]["starts"]):
+        window = quality.get("last_window") or {}
+        confidences = window.get("mean_confidence") or {}
+        conf_text = "  ".join(
+            f"{head}={value:.2f}"
+            for head, value in sorted(confidences.items()))
+        lines.append(
+            f"  quality    {quality['windows']} windows"
+            + (f"   conf {conf_text}" if conf_text else ""))
+        drift_flag = ("DRIFTING" if quality["drift_alerts"] else "stable")
+        lines.append(
+            f"  drift      {quality['drift_alerts']} alerts [{drift_flag}]")
+        canary = quality["canary"]
+        if canary["starts"]:
+            verdict = canary.get("last_verdict") or {}
+            agreement = verdict.get("agreement")
+            lines.append(
+                f"  canary     {canary['starts']} runs: "
+                f"{canary['accepted']} accepted, "
+                f"{canary['refused']} refused"
+                + (f"   last agreement {agreement:.2f}"
+                   if isinstance(agreement, (int, float)) else ""))
+        for alert in (quality.get("last_drift"),):
+            if alert:
+                lines.append(
+                    f"  ALERT drift: tag PSI "
+                    f"{alert.get('tag_psi_max', 0.0):.2f}, confidence "
+                    f"PSI {alert.get('confidence_psi', 0.0):.2f}, KL "
+                    f"{alert.get('confidence_kl', 0.0):.2f}")
     objectives = slo.get("objectives", {})
     for name, obj in sorted(objectives.items()):
         observed = obj.get("observed")

@@ -9,11 +9,21 @@ A long-running, in-process service over
 - :class:`ServiceClient` — the in-process caller API
   (``extract`` / ``extract_many`` / ``mine`` / ``health``);
 - :class:`FaultInjector` — configurable failure/latency injection used
-  to prove the robustness paths (tests, ``repro serve --inject-*``).
+  to prove the robustness paths (tests, ``repro serve --inject-*``);
+- :class:`QualityMonitor` (re-exported from :mod:`repro.obs.quality`)
+  — streaming model-quality scorecards, drift alerts and the shadow
+  canary that gates :meth:`ExtractionService.reload` (refusals raise
+  :class:`CanaryRefusedError`).
 
 Exposed on the CLI as ``repro serve``.
 """
 
+from repro.obs.drift import DriftConfig
+from repro.obs.quality import (
+    CanaryRefusedError,
+    QualityConfig,
+    QualityMonitor,
+)
 from repro.serve.client import ServiceClient
 from repro.serve.config import ServiceConfig
 from repro.serve.faults import FaultInjector, InjectedFault, TransientWorkerError
@@ -29,10 +39,14 @@ from repro.serve.service import (
 __all__ = [
     "BATCH_SIZE_BUCKETS",
     "STATUSES",
+    "CanaryRefusedError",
     "CircuitBreaker",
+    "DriftConfig",
     "ExtractionService",
     "FaultInjector",
     "InjectedFault",
+    "QualityConfig",
+    "QualityMonitor",
     "RequestFuture",
     "ServeResult",
     "ServiceClient",

@@ -30,6 +30,15 @@ cache-hit objectives with burn-rate alerts surfaced via
 :meth:`ExtractionService.health`; the flight-recorder ring is dumped
 automatically when the breaker opens or a request exhausts its
 retries.  See ``docs/serving.md`` and ``docs/observability.md``.
+
+Quality (PR 6): an optional
+:class:`~repro.obs.quality.QualityMonitor` turns the service quality-
+observable — every served result feeds per-model-version scorecards
+and a PSI/KL drift detector (``quality_window`` / ``drift_alert``
+events), live clips are reservoir-sampled into a canary slice, and
+:meth:`ExtractionService.reload` is gated behind a shadow canary that
+refuses checkpoints whose tag agreement with the serving model falls
+below the configured floor (``canary_start`` / ``canary_verdict``).
 """
 
 from __future__ import annotations
@@ -54,6 +63,11 @@ from repro.obs import metrics, span
 from repro.obs import context as obs_context
 from repro.obs import events as obs_events
 from repro.obs.events import EventLog
+from repro.obs.quality import (
+    CanaryRefusedError,
+    QualityConfig,
+    QualityMonitor,
+)
 from repro.obs.slo import RollingQuantile, SLOConfig, SLOTracker
 from repro.serve.config import ServiceConfig
 from repro.serve.faults import FaultInjector, TransientWorkerError
@@ -102,6 +116,19 @@ class ServeResult:
     @property
     def degraded(self) -> bool:
         return self.status == "degraded"
+
+    @property
+    def tag_confidences(self) -> Dict[str, Dict[str, float]]:
+        """Per-tag decode probabilities of the served extraction.
+
+        Stamped at decode time on every path that yields a result
+        (primary, degraded fallback, cache hit) so quality monitors
+        read probabilities directly instead of re-running the decode.
+        Empty for shed/timeout/error outcomes.
+        """
+        if self.result is None:
+            return {}
+        return self.result.tag_confidences
 
 
 class _Request:
@@ -324,6 +351,14 @@ class ExtractionService:
         :class:`~repro.obs.slo.SLOConfig` (or a prebuilt
         :class:`~repro.obs.slo.SLOTracker`) for the objectives
         evaluated in :meth:`health`; defaults to availability-only.
+    quality:
+        :class:`~repro.obs.quality.QualityConfig` (or a prebuilt
+        :class:`~repro.obs.quality.QualityMonitor`) enabling model-
+        quality observability: every served result feeds per-version
+        scorecards and the drift detector, live clips are reservoir-
+        sampled for the canary slice, and :meth:`reload` is gated
+        behind a shadow-canary agreement check.  ``None`` (default)
+        disables monitoring entirely — the hot path stays bare.
     """
 
     def __init__(self, extractor: Union[ScenarioExtractor, Module],
@@ -333,7 +368,9 @@ class ExtractionService:
                  fault_injector: Optional[FaultInjector] = None,
                  cache: Optional[ExtractionCache] = None,
                  events: Optional[EventLog] = None,
-                 slo: Optional[Union[SLOConfig, SLOTracker]] = None
+                 slo: Optional[Union[SLOConfig, SLOTracker]] = None,
+                 quality: Optional[Union[QualityConfig,
+                                         QualityMonitor]] = None
                  ) -> None:
         if isinstance(extractor, Module):
             extractor = ScenarioExtractor(extractor)
@@ -360,6 +397,13 @@ class ExtractionService:
         self.events = events
         self.slo = (slo if isinstance(slo, SLOTracker)
                     else SLOTracker(slo))
+        if isinstance(quality, QualityMonitor):
+            self.quality: Optional[QualityMonitor] = quality
+        elif quality is not None:
+            self.quality = QualityMonitor(extractor.codec, quality,
+                                          events=events)
+        else:
+            self.quality = None
         self._prev_active_events: Optional[EventLog] = None
         self.breaker.on_open = self._on_breaker_open
         self.breaker.on_close = self._on_breaker_close
@@ -494,7 +538,8 @@ class ExtractionService:
         return self.submit(clip, timeout=timeout).result()
 
     # -- hot reload ----------------------------------------------------
-    def reload(self, source: Union[str, Module]) -> int:
+    def reload(self, source: Union[str, Module],
+               force: bool = False) -> int:
         """Atomically swap in new model weights; returns the version.
 
         ``source`` is a self-describing checkpoint path (rebuilt via
@@ -502,6 +547,16 @@ class ExtractionService:
         The in-flight batch finishes on the old model; every later batch
         uses the new one — no request is dropped.  The clip shape must
         be unchanged (queued clips were validated against it).
+
+        When a quality monitor is attached and its canary slice holds
+        enough sampled live clips, the swap is **canary-gated**: the
+        candidate shadow-infers the slice, its tag agreement and
+        confidence shift against the serving model are scored
+        (``canary_start`` / ``canary_verdict`` events), and a verdict
+        below the agreement floor raises
+        :class:`~repro.obs.quality.CanaryRefusedError` with the serving
+        model untouched.  ``force=True`` skips the gate (operator
+        override — the rollback path when the gate itself misfires).
         """
         if isinstance(source, Module):
             model = source
@@ -517,6 +572,19 @@ class ExtractionService:
                 f"{new_shape}; start a new service instead"
             )
         with self._model_lock:
+            serving = self._primary
+            serving_version = self._model_version
+        if (not force and self.quality is not None
+                and self.quality.canary_ready):
+            # Shadow inference runs outside the model lock — live
+            # batches keep flowing on the serving model meanwhile.
+            verdict = self.quality.canary(
+                serving, serving.clone_with_model(model),
+                serving_version=serving_version)
+            if not verdict["accepted"]:
+                metrics.counter("serve.reloads_refused").inc()
+                raise CanaryRefusedError(verdict)
+        with self._model_lock:
             self._primary = self._primary.clone_with_model(model)
             self._model_version += 1
             version = self._model_version
@@ -527,6 +595,10 @@ class ExtractionService:
         self.breaker.reset()
         self._reload_counter.inc()
         self._emit("reload", version=version)
+        if self.quality is not None:
+            # New model, new output distribution: re-pin the drift
+            # reference so the swap itself doesn't read as drift.
+            self.quality.on_reload(version)
         return version
 
     @property
@@ -569,6 +641,8 @@ class ExtractionService:
         if self.cache is not None:
             report["cache"] = self.cache.stats()
         report["slo"] = self.slo.report()
+        if self.quality is not None:
+            report["quality"] = self.quality.report()
         if self.events is not None:
             report["events"] = self.events.stats()
         return report
@@ -642,11 +716,26 @@ class ExtractionService:
         with self._counts_lock:
             self._status_counts[result.status] += 1
         self.slo.record_request(result.ok, result.latency_s)
-        self._emit("result", request, status=result.status,
-                   latency_s=result.latency_s, retries=result.retries,
-                   batch_size=result.batch_size, cached=result.cached,
-                   model_version=result.model_version,
-                   error=result.error)
+        extraction = result.result
+        mean_confidence = None
+        if extraction is not None and extraction.confidences:
+            mean_confidence = (sum(extraction.confidences.values())
+                               / len(extraction.confidences))
+            self.slo.record_confidence(mean_confidence)
+        if self.quality is not None and extraction is not None:
+            self.quality.observe(result)
+        event_fields = dict(status=result.status,
+                            latency_s=result.latency_s,
+                            retries=result.retries,
+                            batch_size=result.batch_size,
+                            cached=result.cached,
+                            model_version=result.model_version,
+                            error=result.error)
+        if mean_confidence is not None:
+            # Stamped so ``repro top --from-events`` can replay the
+            # confidence objective offline.
+            event_fields["mean_confidence"] = mean_confidence
+        self._emit("result", request, **event_fields)
         return True
 
     def _resolve_timeout(self, request: _Request) -> None:
@@ -758,6 +847,11 @@ class ExtractionService:
             if use_primary:
                 self.breaker.record_success()
             status = "ok" if use_primary else "degraded"
+            if self.quality is not None:
+                # Reservoir-sample the live clips that actually reached
+                # a forward pass — the canary's shadow-traffic slice.
+                for request in live:
+                    self.quality.sample_clip(request.clip)
             self._emit("model_forward",
                        model="primary" if use_primary else "fallback",
                        batch_size=len(live), model_version=version,
