@@ -62,13 +62,23 @@ def load_extractor(checkpoint: Optional[ExtractorSource] = None, *,
                    model: Optional[Module] = None,
                    codec: Optional[LabelCodec] = None,
                    threshold: float = 0.5,
-                   batch_size: int = 16) -> ScenarioExtractor:
+                   batch_size: int = 16,
+                   precision: str = "fp32",
+                   calibration: Optional[np.ndarray] = None
+                   ) -> ScenarioExtractor:
     """Build a ready-to-use extractor.
 
     Pass a checkpoint path (the model architecture is reconstructed
     from the checkpoint's own metadata — no shape flags), an already
     constructed model via ``model=``, or an existing extractor (returned
     as-is, ignoring the keyword knobs).
+
+    ``precision`` selects the inference path: ``"fp32"`` (default,
+    bit-exact autograd fast path), or ``"fp16"`` / ``"int8"`` for the
+    quantized no-grad engine — optionally with ``calibration`` sample
+    clips ``(N, T, C, H, W)`` to fix the int8 activation scales on real
+    footage (a seeded synthetic batch is used otherwise).  See
+    ``docs/performance.md``.
     """
     if (checkpoint is None) == (model is None):
         raise ValueError("pass exactly one of checkpoint or model")
@@ -81,7 +91,8 @@ def load_extractor(checkpoint: Optional[ExtractorSource] = None, *,
 
         model = load_model(os.fspath(checkpoint), codec=codec)
     return ScenarioExtractor(model, codec=codec, threshold=threshold,
-                             batch_size=batch_size)
+                             batch_size=batch_size, precision=precision,
+                             calibration=calibration)
 
 
 def _as_extractor(source: ExtractorSource) -> ScenarioExtractor:
@@ -183,6 +194,7 @@ def serve(source: ExtractorSource,
           events_dir: Optional[str] = None,
           slo: Optional[Union[SLOConfig, SLOTracker]] = None,
           quality: Optional[Union[QualityConfig, QualityMonitor]] = None,
+          precision: Optional[str] = None,
           **config_kwargs) -> ExtractionService:
     """A started :class:`ExtractionService` over ``source``.
 
@@ -208,6 +220,11 @@ def serve(source: ExtractorSource,
         config = ServiceConfig(**config_kwargs)
     if events_dir is not None:
         events = EventLog(events_dir)
+    if precision is not None and not isinstance(source,
+                                                ScenarioExtractor):
+        # Build the served extractor at the requested precision; a
+        # prebuilt extractor keeps its own (load_extractor convention).
+        source = load_extractor(source, precision=precision)
     return ExtractionService(_as_extractor(source), config,
                              cache=_as_cache(cache, cache_dir),
                              events=events, slo=slo,

@@ -50,6 +50,19 @@ _LEGACY_DEFAULTS = {"model": "vt-divided", "dim": 48, "depth": 2,
                     "heads": 4}
 
 
+def _add_precision_arg(parser: argparse.ArgumentParser) -> None:
+    """``--precision`` for extraction commands (docs/performance.md):
+    fp32 is the exact autograd fast path; fp16/int8 route through the
+    fused quantized inference engine."""
+    from repro.core.pipeline import PRECISIONS
+
+    parser.add_argument("--precision", choices=PRECISIONS,
+                        default="fp32",
+                        help="no-grad inference precision; int8 "
+                             "calibrates activation scales on synthetic "
+                             "clips at load time")
+
+
 def _add_model_args(parser: argparse.ArgumentParser,
                     for_training: bool = False) -> None:
     """Model-shape flags.
@@ -171,7 +184,8 @@ def cmd_extract(args) -> int:
     """``extract``: print descriptions for clips in a dataset."""
     dataset = SynthDriveDataset.load(args.data)
     model = _load_model(args, dataset.videos.shape[1])
-    extractor = ScenarioExtractor(model, threshold=args.threshold)
+    extractor = ScenarioExtractor(model, threshold=args.threshold,
+                                  precision=args.precision)
     clips = dataset.videos[:args.limit] if args.limit else dataset.videos
     for i, result in enumerate(extractor.extract_batch(clips)):
         print(f"clip {i}: {result.sentence}")
@@ -208,7 +222,7 @@ def cmd_mine(args) -> int:
 
     dataset = SynthDriveDataset.load(args.data)
     model = _load_model(args, dataset.videos.shape[1])
-    extractor = ScenarioExtractor(model)
+    extractor = ScenarioExtractor(model, precision=args.precision)
     cache = ExtractionCache(args.cache_dir or None)
     records = export_corpus(extractor, dataset.videos, args.out,
                             families=dataset.families, cache=cache)
@@ -308,7 +322,8 @@ def cmd_serve(args) -> int:
 
     dataset = SynthDriveDataset.load(args.data)
     model = _load_model(args, dataset.videos.shape[1])
-    extractor = ScenarioExtractor(model, threshold=args.threshold)
+    extractor = ScenarioExtractor(model, threshold=args.threshold,
+                                  precision=args.precision)
     config = ServiceConfig(
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1000.0,
@@ -523,6 +538,43 @@ def cmd_profile(args) -> int:
             print(f"\nperf regression: {stages} slower than "
                   f"{args.max_slowdown:.1f}x the baseline")
             return 1
+    return _check_inference_gates(args, report)
+
+
+def _check_inference_gates(args, report) -> int:
+    """Absolute perf/accuracy gates on an ``inference`` workload report
+    (no-ops on other workloads and when the flags are unset)."""
+    failures = []
+    sliding = report.get("sliding", {})
+    precision = report.get("precision", {})
+    if args.min_reuse_speedup > 0 and sliding:
+        speedup = sliding.get("reuse_speedup", 0.0)
+        if speedup < args.min_reuse_speedup:
+            failures.append(
+                f"sliding reuse speedup {speedup:.2f}x < required "
+                f"{args.min_reuse_speedup:.2f}x")
+        if not sliding.get("bitwise_identical", False):
+            failures.append(
+                "memoized sliding extraction is not bit-identical "
+                "to the naive path")
+    if args.min_int8_speedup > 0 and precision:
+        speedup = precision.get("int8_speedup", 0.0)
+        if speedup < args.min_int8_speedup:
+            failures.append(
+                f"int8 speedup {speedup:.2f}x < required "
+                f"{args.min_int8_speedup:.2f}x")
+    if args.max_f1_drop >= 0 and precision:
+        for mode in ("fp16", "int8"):
+            drop = precision.get(f"{mode}_macro_f1_drop_pts")
+            if drop is not None and drop > args.max_f1_drop:
+                failures.append(
+                    f"{mode} macro-F1 drop {drop:.2f}pt > allowed "
+                    f"{args.max_f1_drop:.2f}pt")
+    if failures:
+        print("\ninference gate failures:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
     return 0
 
 
@@ -570,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--threshold", type=float, default=0.5)
     extract.add_argument("--limit", type=int, default=0)
     extract.add_argument("--json", action="store_true")
+    _add_precision_arg(extract)
     _add_model_args(extract)
     extract.set_defaults(fn=cmd_extract)
 
@@ -656,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--allow-failures", action="store_true",
                        help="exit 0 as long as every request is "
                             "accounted for (e.g. under fault injection)")
+    _add_precision_arg(serve)
     _add_model_args(serve)
     serve.set_defaults(fn=cmd_serve)
 
@@ -685,7 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="per-stage latency/throughput report"
     )
     profile.add_argument("--workload", default="smoke",
-                         choices=("smoke", "small"))
+                         choices=("smoke", "small", "inference"))
     profile.add_argument("--out", default="",
                          help="also write the JSON report to this path")
     profile.add_argument("--json", action="store_true",
@@ -695,6 +749,16 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--max-slowdown", type=float, default=2.0,
                          help="fail (exit 1) when a checked stage is this "
                               "many times slower than the baseline")
+    profile.add_argument("--min-reuse-speedup", type=float, default=0.0,
+                         help="inference workload: fail unless memoized "
+                              "sliding extraction is at least this much "
+                              "faster than naive AND bit-identical")
+    profile.add_argument("--min-int8-speedup", type=float, default=0.0,
+                         help="inference workload: fail unless int8 "
+                              "extraction beats fp32 by this factor")
+    profile.add_argument("--max-f1-drop", type=float, default=-1.0,
+                         help="inference workload: fail when the int8 or "
+                              "fp16 macro-F1 drop exceeds this many points")
     profile.set_defaults(fn=cmd_profile)
 
     mine = sub.add_parser(
@@ -725,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--json", action="store_true",
                       help="print a repro.mine/v1 JSON summary "
                            "(includes cache stats)")
+    _add_precision_arg(mine)
     _add_model_args(mine)
     mine.set_defaults(fn=cmd_mine)
     return parser

@@ -76,8 +76,18 @@ def model_fingerprint(model: Module) -> str:
 
 
 def extractor_version(extractor: ScenarioExtractor) -> str:
-    """The cache-relevant version of an extractor's model."""
-    return model_fingerprint(extractor.model)
+    """The cache-relevant version of an extractor's model.
+
+    Beyond the weight/metadata fingerprint this includes the inference
+    precision: an int8 extractor decodes from quantized logits, so its
+    results must never alias an fp32 (or fp16) entry for the same clip
+    and weights.  fp32 keeps the bare fingerprint — existing caches
+    stay valid."""
+    version = model_fingerprint(extractor.model)
+    precision = getattr(extractor, "precision", "fp32")
+    if precision != "fp32":
+        version = f"{version}-{precision}"
+    return version
 
 
 def cache_key(clip_hash: str, model_version: str, vocab_hash: str,
@@ -328,22 +338,27 @@ def cached_extract_sliding(extractor: ScenarioExtractor,
     Mirrors :meth:`ScenarioExtractor.extract_sliding` (same windowing,
     same frame ranges) but each window clip goes through the cache, so
     overlapping re-analyses of the same footage reuse prior windows.
+    Windows are materialised in bounded chunks (``batch_size`` windows
+    at a time), never all at once.
     """
     if cache is None:
         return extractor.extract_sliding(video, window=window,
                                          stride=stride)
-    starts, clips = ScenarioExtractor.window_clips(video, window, stride)
-    results = cached_extract_batch(extractor, clips, cache)
-    return [
-        ExtractionResult(
-            description=r.description,
-            sentence=r.sentence,
-            confidences=r.confidences,
-            frame_range=(start, start + window),
-            tag_confidences=r.tag_confidences,
+    results: List[ExtractionResult] = []
+    for starts, clips in ScenarioExtractor.iter_window_clips(
+            video, window, stride, extractor.batch_size):
+        chunk = cached_extract_batch(extractor, clips, cache)
+        results.extend(
+            ExtractionResult(
+                description=r.description,
+                sentence=r.sentence,
+                confidences=r.confidences,
+                frame_range=(start, start + window),
+                tag_confidences=r.tag_confidences,
+            )
+            for start, r in zip(starts, chunk)
         )
-        for start, r in zip(starts, results)
-    ]
+    return results
 
 
 __all__ = [

@@ -2,18 +2,42 @@
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.autograd import no_grad
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
-from repro.obs import is_enabled, metrics, span
+from repro.obs import get_logger, is_enabled, metrics, span
 from repro.sdl.codec import LabelCodec
 from repro.sdl.description import ScenarioDescription
+
+#: Inference precisions a :class:`ScenarioExtractor` accepts.  ``fp32``
+#: runs the autograd no-grad path (the bit-exactness reference);
+#: ``fp16``/``int8`` route through the fused quantized
+#: :class:`~repro.models.engine.InferenceEngine`.
+PRECISIONS = ("fp32", "fp16", "int8")
+
+#: Default capacity of the sliding-window frame memo (frames, LRU).
+FRAME_MEMO_SIZE = 2048
+
+_logger = get_logger("core.pipeline")
+
+
+def _frame_digest(frame: np.ndarray) -> bytes:
+    """Content hash of one frame ``(C, H, W)`` — dtype/shape-aware, so
+    two frames collide only when they are byte-identical."""
+    frame = np.ascontiguousarray(frame)
+    digest = hashlib.sha256()
+    digest.update(str(frame.dtype).encode())
+    digest.update(str(frame.shape).encode())
+    digest.update(frame.tobytes())
+    return digest.digest()
 
 
 @dataclass(frozen=True)
@@ -44,11 +68,33 @@ class ScenarioExtractor:
     """
 
     def __init__(self, model: Module, codec: Optional[LabelCodec] = None,
-                 threshold: float = 0.5, batch_size: int = 16) -> None:
+                 threshold: float = 0.5, batch_size: int = 16,
+                 precision: str = "fp32",
+                 calibration: Optional[np.ndarray] = None,
+                 frame_memo_size: int = FRAME_MEMO_SIZE) -> None:
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {precision!r}"
+            )
         self.model = model
         self.codec = codec or LabelCodec()
         self.threshold = threshold
         self.batch_size = batch_size
+        self.precision = precision
+        self.calibration = calibration
+        self.frame_memo_size = frame_memo_size
+        self._engine = None
+        if precision != "fp32":
+            from repro.models.engine import InferenceEngine
+
+            self._engine = InferenceEngine(model, precision,
+                                           calibration=calibration)
+        # Sliding-window overlap reuse: LRU of per-frame activations
+        # keyed by frame content hash (see extract_sliding).
+        self._frame_memo: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._reuse_hits = 0
+        self._reuse_misses = 0
+        metrics.gauge("extractor.precision", precision=precision).set(1.0)
 
     # -- primitives -----------------------------------------------------
     def logits(self, clips: np.ndarray,
@@ -69,6 +115,8 @@ class ScenarioExtractor:
             sizes = self.codec.head_sizes
             return {k: np.zeros((0, n), dtype=np.float32)
                     for k, n in sizes.items()}
+        if self._engine is not None:
+            return self._engine.logits(clips, batch_size=batch_size)
         self.model.eval()
         pieces: Dict[str, List[np.ndarray]] = {}
         with no_grad():
@@ -122,14 +170,33 @@ class ScenarioExtractor:
         }
 
     def clone_with_model(self, model: Module) -> "ScenarioExtractor":
-        """A new extractor on ``model`` keeping codec/threshold/batching.
+        """A new extractor on ``model`` keeping codec/threshold/batching
+        and the precision mode.
 
         Used by the serving layer's checkpoint hot-reload: the swapped-in
         extractor inherits every decoding knob, so only the weights
-        change."""
+        change.  A quantized extractor cloned onto a model that can't be
+        quantized (e.g. the circuit breaker's frame-mlp fallback)
+        downgrades to fp32 with a logged warning instead of failing —
+        degraded service beats no service."""
+        from repro.models.video_transformer import VideoTransformer
+
+        precision = self.precision
+        if precision != "fp32" and not isinstance(model,
+                                                  VideoTransformer):
+            _logger.warning(
+                "clone_with_model: %s model %s cannot run %s — "
+                "downgrading clone to fp32",
+                type(model).__name__, getattr(model, "name", "?"),
+                precision,
+            )
+            precision = "fp32"
         return ScenarioExtractor(model, codec=self.codec,
                                  threshold=self.threshold,
-                                 batch_size=self.batch_size)
+                                 batch_size=self.batch_size,
+                                 precision=precision,
+                                 calibration=self.calibration,
+                                 frame_memo_size=self.frame_memo_size)
 
     # -- public API -------------------------------------------------------
     def extract(self, clip: np.ndarray) -> ExtractionResult:
@@ -150,10 +217,16 @@ class ScenarioExtractor:
         start = time.perf_counter()
         with span("pipeline/forward"):
             logits = self.logits(clips, batch_size=batch_size)
+        return self._finalize_batch(logits, clips.shape[1], start)
+
+    def _finalize_batch(self, logits: Dict[str, np.ndarray], frames: int,
+                        started: float) -> List[ExtractionResult]:
+        """Decode + render + account a batch of logits — shared by the
+        direct batch path and the memoized sliding path, so both decode
+        identically (row-wise ops only; chunking never changes output)."""
         with span("pipeline/decode"):
             descriptions = self.codec.decode_batch(logits,
                                                    threshold=self.threshold)
-        frames = clips.shape[1]
         with span("pipeline/render"):
             probs = self._head_probs(logits)
             results = [
@@ -167,19 +240,18 @@ class ScenarioExtractor:
                 for i, desc in enumerate(descriptions)
             ]
         if is_enabled() and results:
-            per_clip = (time.perf_counter() - start) / len(results)
+            per_clip = (time.perf_counter() - started) / len(results)
             latency = metrics.histogram("pipeline.clip_seconds")
             for _ in results:
                 latency.observe(per_clip)
             metrics.counter("pipeline.clips").inc(len(results))
         return results
 
+    # -- sliding-window geometry ---------------------------------------
     @staticmethod
-    def window_clips(video: np.ndarray, window: int,
-                     stride: int) -> Tuple[List[int], np.ndarray]:
-        """Window start frames and stacked window clips for a video
-        ``(T, C, H, W)`` — the shared geometry behind
-        :meth:`extract_sliding` and its cache-backed twin."""
+    def window_starts(video: np.ndarray, window: int,
+                      stride: int) -> List[int]:
+        """Window start frames for a video ``(T, C, H, W)``."""
         if video.ndim != 4:
             raise ValueError("expected (T, C, H, W) video")
         if window <= 0 or stride <= 0:
@@ -189,25 +261,180 @@ class ScenarioExtractor:
             raise ValueError(
                 f"video has {total} frames, shorter than window {window}"
             )
-        starts = list(range(0, total - window + 1, stride))
+        return list(range(0, total - window + 1, stride))
+
+    @staticmethod
+    def window_clips(video: np.ndarray, window: int,
+                     stride: int) -> Tuple[List[int], np.ndarray]:
+        """Window start frames and stacked window clips for a video
+        ``(T, C, H, W)``.
+
+        Materialises *every* window at once — ``n_windows × window``
+        frames.  Fine for short videos and tests; long-video paths use
+        :meth:`iter_window_clips` to keep memory bounded."""
+        starts = ScenarioExtractor.window_starts(video, window, stride)
         return starts, np.stack([video[s:s + window] for s in starts])
 
+    @staticmethod
+    def iter_window_clips(video: np.ndarray, window: int, stride: int,
+                          chunk_windows: int
+                          ) -> Iterator[Tuple[List[int], np.ndarray]]:
+        """Yield ``(starts, stacked_clips)`` in bounded chunks of at most
+        ``chunk_windows`` windows, so a 10k-frame video never allocates
+        all its windows at once.  Concatenating the chunks reproduces
+        :meth:`window_clips` exactly."""
+        if chunk_windows <= 0:
+            raise ValueError("chunk_windows must be positive")
+        starts = ScenarioExtractor.window_starts(video, window, stride)
+        for i in range(0, len(starts), chunk_windows):
+            chunk = starts[i:i + chunk_windows]
+            yield chunk, np.stack([video[s:s + window] for s in chunk])
+
+    # -- sliding-window extraction ---------------------------------------
     def extract_sliding(self, video: np.ndarray, window: int,
-                        stride: int) -> List[ExtractionResult]:
+                        stride: int,
+                        reuse: Optional[bool] = None
+                        ) -> List[ExtractionResult]:
         """Slide a window over a long video ``(T, C, H, W)`` and extract
-        a description per window — scenario *timeline* extraction."""
-        starts, clips = self.window_clips(video, window, stride)
-        results = self.extract_batch(clips)
-        return [
-            ExtractionResult(
-                description=r.description,
-                sentence=r.sentence,
-                confidences=r.confidences,
-                frame_range=(start, start + window),
-                tag_confidences=r.tag_confidences,
-            )
-            for start, r in zip(starts, results)
-        ]
+        a description per window — scenario *timeline* extraction.
+
+        Windows are processed in bounded chunks (``batch_size`` windows
+        at a time), so memory stays flat however long the video is.
+
+        ``reuse`` controls temporal-overlap memoization.  When engaged
+        (and the stride overlaps), each frame's window-independent
+        activations are computed once and memoized by content hash: a
+        new window runs the per-frame stage only on its novel frames,
+        then the window-dependent remainder.  Bit-identical to the
+        naive path at fp32 (see ``docs/performance.md``).
+
+        - ``None`` (default): memoize where it pays — ``factorized``
+          attention, whose per-frame spatial-encoder summaries are the
+          dominant cost.  ``divided`` attention only has reusable patch
+          embeddings (its blocks run temporal attention first, so every
+          later activation is window-dependent) and measures *slower*
+          memoized, so auto mode leaves it naive.
+        - ``True``: force memoization on any supporting mode.
+        - ``False``: always naive.  ``joint`` attention has no
+          per-frame stage and is always naive."""
+        starts = self.window_starts(video, window, stride)
+        backend = self._reuse_backend()
+        if reuse is None:
+            reuse = (backend is not None
+                     and getattr(backend, "attention", None)
+                     == "factorized")
+        if reuse and backend is not None and stride < window:
+            return self._extract_sliding_reuse(video, starts, window,
+                                               backend)
+        results: List[ExtractionResult] = []
+        for chunk_starts, clips in self.iter_window_clips(
+                video, window, stride, self.batch_size):
+            for start, r in zip(chunk_starts, self.extract_batch(clips)):
+                results.append(ExtractionResult(
+                    description=r.description,
+                    sentence=r.sentence,
+                    confidences=r.confidences,
+                    frame_range=(start, start + window),
+                    tag_confidences=r.tag_confidences,
+                ))
+        return results
+
+    def _reuse_backend(self):
+        """Whatever computes per-frame features for this precision —
+        the quantized engine, or the model itself at fp32 — if the
+        attention mode supports frame reuse at all."""
+        target = self._engine if self._engine is not None else self.model
+        if getattr(target, "supports_frame_reuse", False):
+            return target
+        return None
+
+    def _extract_sliding_reuse(self, video: np.ndarray,
+                               starts: List[int], window: int,
+                               backend) -> List[ExtractionResult]:
+        """Memoized sliding extraction: per-frame features from an LRU
+        keyed on frame content hash; only novel frames run the
+        per-frame stage."""
+        results: List[ExtractionResult] = []
+        digests: Dict[int, bytes] = {}
+        memo = self._frame_memo
+        chunk = self.batch_size
+        self.model.eval()
+        with no_grad():
+            for i in range(0, len(starts), chunk):
+                started = time.perf_counter()
+                chunk_starts = starts[i:i + chunk]
+                # Unique frames this chunk needs, in first-use order.
+                needed: List[int] = []
+                seen = set()
+                for s in chunk_starts:
+                    for f in range(s, s + window):
+                        if f not in seen:
+                            seen.add(f)
+                            needed.append(f)
+                novel: List[int] = []
+                pending = set()
+                for f in needed:
+                    digest = digests.get(f)
+                    if digest is None:
+                        digest = _frame_digest(video[f])
+                        digests[f] = digest
+                    if digest in memo:
+                        memo.move_to_end(digest)
+                    elif digest not in pending:
+                        pending.add(digest)
+                        novel.append(f)
+                # A "hit" is any window-frame slot served without
+                # running the per-frame stage — whether the frame came
+                # from a previous chunk or is shared by several windows
+                # of this one.  hits + misses = windows × window.
+                hits = len(chunk_starts) * window - len(novel)
+                if novel:
+                    with span("pipeline/frame_features"):
+                        feats = backend.frame_features(video[novel])
+                    for f, feat in zip(novel, feats):
+                        memo[digests[f]] = feat
+                self._reuse_hits += hits
+                self._reuse_misses += len(novel)
+                metrics.counter("pipeline.reuse.frame_hits").inc(hits)
+                metrics.counter("pipeline.reuse.frame_misses") \
+                    .inc(len(novel))
+                sample = memo[digests[needed[0]]]
+                assembled = np.empty(
+                    (len(chunk_starts), window) + sample.shape,
+                    dtype=sample.dtype)
+                for wi, s in enumerate(chunk_starts):
+                    for t in range(window):
+                        assembled[wi, t] = memo[digests[s + t]]
+                with span("pipeline/forward"):
+                    logits = backend.head_logits_from_frame_features(
+                        assembled)
+                for start, r in zip(
+                        chunk_starts,
+                        self._finalize_batch(logits, window, started)):
+                    results.append(ExtractionResult(
+                        description=r.description,
+                        sentence=r.sentence,
+                        confidences=r.confidences,
+                        frame_range=(start, start + window),
+                        tag_confidences=r.tag_confidences,
+                    ))
+                # Evict only after assembly so a tiny capacity can
+                # never drop a frame the current chunk still needs.
+                floor = max(self.frame_memo_size, len(needed))
+                while len(memo) > floor:
+                    memo.popitem(last=False)
+        return results
+
+    def reuse_stats(self) -> Dict[str, object]:
+        """Sliding-window frame-memo accounting for this extractor."""
+        lookups = self._reuse_hits + self._reuse_misses
+        return {
+            "supported": self._reuse_backend() is not None,
+            "frame_hits": self._reuse_hits,
+            "frame_misses": self._reuse_misses,
+            "hit_rate": (self._reuse_hits / lookups if lookups else 0.0),
+            "memo_frames": len(self._frame_memo),
+        }
 
 
 def _softmax(x: np.ndarray) -> np.ndarray:

@@ -9,7 +9,7 @@ normalisation and activation costs.
 from __future__ import annotations
 
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -364,3 +364,182 @@ def measured_profile(model: Module, batch_size: int = 8,
         },
         "autograd_ops": ops,
     }
+
+
+def precision_profile(model: Module, batch_size: int = 16,
+                      repeats: int = 3, seed: int = 0,
+                      precisions=("fp32", "fp16", "int8")
+                      ) -> Dict[str, object]:
+    """Per-precision no-grad extraction latency for one model.
+
+    Times :meth:`ScenarioExtractor.logits` end to end for each
+    requested precision (fp32 = autograd fast path, fp16/int8 = fused
+    quantized engine) on the same synthetic clips, and reports the
+    stored-weight footprint of the quantized projections.  Speedups are
+    relative to fp32.
+    """
+    from repro.core.pipeline import ScenarioExtractor
+
+    cfg: ModelConfig = model.config
+    rng = np.random.default_rng(seed)
+    clips = rng.random(
+        (batch_size, cfg.frames, cfg.channels, cfg.height, cfg.width)
+    ).astype(np.float32)
+    report: Dict[str, object] = {"batch_size": batch_size}
+    for precision in precisions:
+        extractor = ScenarioExtractor(model, precision=precision,
+                                      batch_size=batch_size)
+        extractor.logits(clips)  # warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            extractor.logits(clips)
+            best = min(best, time.perf_counter() - start)
+        per_clip = best / batch_size
+        report[f"{precision}_ms_per_clip"] = per_clip * 1e3
+        if extractor._engine is not None:
+            size = extractor._engine.weight_bytes()
+            report[f"{precision}_weight_bytes"] = size["stored"]
+            report.setdefault("fp32_weight_bytes", size["fp32"])
+    fp32 = report.get("fp32_ms_per_clip")
+    if fp32:
+        for precision in precisions:
+            key = f"{precision}_ms_per_clip"
+            if precision != "fp32" and key in report:
+                report[f"{precision}_speedup"] = fp32 / report[key]
+    if "int8_weight_bytes" in report:
+        report["int8_weight_compression"] = (
+            report["fp32_weight_bytes"] / report["int8_weight_bytes"])
+    return report
+
+
+def sliding_reuse_profile(model: Module, video_frames: int = 192,
+                          stride: Optional[int] = None,
+                          precision: str = "fp32", repeats: int = 1,
+                          seed: int = 0) -> Dict[str, object]:
+    """Naive vs memoized sliding-window extraction on a long video.
+
+    Times :meth:`ScenarioExtractor.extract_sliding` with ``reuse=False``
+    (bounded chunks, no memo) against ``reuse=True`` (per-frame
+    activations memoized by content hash) at the given overlap, checks
+    that the two timelines decode identically, and reports the frame
+    memo accounting.  Default stride is ``window / 4`` — the overlap
+    the CI perf gate asserts.
+    """
+    from repro.core.pipeline import ScenarioExtractor
+
+    cfg: ModelConfig = model.config
+    window = cfg.frames
+    if stride is None:
+        stride = max(1, window // 4)
+    rng = np.random.default_rng(seed)
+    video = rng.random(
+        (video_frames, cfg.channels, cfg.height, cfg.width)
+    ).astype(np.float32)
+    extractor = ScenarioExtractor(model, precision=precision)
+    n_windows = len(ScenarioExtractor.window_starts(video, window,
+                                                    stride))
+
+    def _time(reuse: bool) -> float:
+        extractor._frame_memo.clear()
+        extractor.extract_sliding(video, window, stride, reuse=reuse)
+        best = float("inf")
+        for _ in range(repeats):
+            extractor._frame_memo.clear()
+            start = time.perf_counter()
+            extractor.extract_sliding(video, window, stride,
+                                      reuse=reuse)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    naive_s = _time(reuse=False)
+    memo_s = _time(reuse=True)
+    extractor._frame_memo.clear()
+    extractor._reuse_hits = extractor._reuse_misses = 0
+    naive = extractor.extract_sliding(video, window, stride,
+                                      reuse=False)
+    memoized = extractor.extract_sliding(video, window, stride,
+                                         reuse=True)
+    identical = all(
+        a.description == b.description
+        and a.sentence == b.sentence
+        and a.confidences == b.confidences
+        and a.frame_range == b.frame_range
+        and a.tag_confidences == b.tag_confidences
+        for a, b in zip(naive, memoized)
+    ) and len(naive) == len(memoized)
+    stats = extractor.reuse_stats()
+    return {
+        "precision": precision,
+        "video_frames": video_frames,
+        "window": window,
+        "stride": stride,
+        "windows": n_windows,
+        "naive_seconds": naive_s,
+        "memoized_seconds": memo_s,
+        "reuse_speedup": naive_s / memo_s if memo_s > 0 else 0.0,
+        "frame_hits": stats["frame_hits"],
+        "frame_misses": stats["frame_misses"],
+        "frame_hit_rate": stats["hit_rate"],
+        "bitwise_identical": bool(identical),
+    }
+
+
+def quantized_accuracy_delta(model: Module, dataset,
+                             threshold: float = 0.5,
+                             precisions=("fp16", "int8"),
+                             calibration: Optional[np.ndarray] = None
+                             ) -> Dict[str, object]:
+    """Table-1-style accuracy of quantized extraction vs fp32.
+
+    Runs the full extractor (not the trainer) over ``dataset`` at each
+    precision and scores the same metric suite as
+    :meth:`Trainer.evaluate`; reports per-precision metrics plus the
+    macro-F1 drop in *points* (×100) against fp32 — the number the CI
+    accuracy gate bounds.  ``calibration`` defaults to a slice of the
+    evaluated clips, mimicking a deployment calibrating on sample
+    footage.
+    """
+    from repro.core.pipeline import ScenarioExtractor
+    from repro.train.metrics import (
+        accuracy,
+        multilabel_prf,
+    )
+
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    if calibration is None:
+        calibration = dataset.videos[:4]
+    targets = dataset.targets
+    report: Dict[str, object] = {}
+    scores: Dict[str, Dict[str, float]] = {}
+    for precision in ("fp32",) + tuple(precisions):
+        extractor = ScenarioExtractor(
+            model, threshold=threshold, precision=precision,
+            calibration=None if precision == "fp32" else calibration)
+        logits = extractor.logits(dataset.videos)
+        actors = multilabel_prf(_sigmoid(logits["actors"]),
+                                targets["actors"], threshold)
+        actions = multilabel_prf(_sigmoid(logits["actor_actions"]),
+                                 targets["actor_actions"], threshold)
+        scores[precision] = {
+            "scene_acc": accuracy(logits["scene"], targets["scene"]),
+            "ego_acc": accuracy(logits["ego_action"],
+                                targets["ego_action"]),
+            "actors_macro_f1": actors["macro_f1"],
+            "actions_macro_f1": actions["macro_f1"],
+        }
+    report["metrics"] = scores
+    base = scores["fp32"]
+    for precision in precisions:
+        cur = scores[precision]
+        report[f"{precision}_macro_f1_drop_pts"] = 100.0 * max(
+            base["actors_macro_f1"] - cur["actors_macro_f1"],
+            base["actions_macro_f1"] - cur["actions_macro_f1"],
+        )
+        report[f"{precision}_scene_acc_drop_pts"] = 100.0 * (
+            base["scene_acc"] - cur["scene_acc"])
+        report[f"{precision}_ego_acc_drop_pts"] = 100.0 * (
+            base["ego_acc"] - cur["ego_acc"])
+    return report

@@ -168,45 +168,114 @@ class VideoTransformer(Module):
                 x = self.encoder(x)
             return x[:, 0]
         if self.attention == "divided":
-            x = self.embed(video)  # (B, T, N, D)
-            x = x + self.pos_spatial + self.pos_temporal
-            x = self.drop(x)
-            for block in self.blocks:
-                x = block(x)
-            x = self.norm(x)
-            if self.config.pool == "attention":
-                from repro.autograd import functional as F
-                frames, patches, dim = x.shape[1], x.shape[2], x.shape[3]
-                tokens = x.reshape(batch, frames * patches, dim)
-                scores = (tokens * self.pool_query.reshape(1, 1, dim)) \
-                    .sum(axis=-1) * (1.0 / np.sqrt(dim))
-                weights = F.softmax(scores, axis=-1)
-                return (tokens
-                        * weights.reshape(batch, frames * patches, 1)) \
-                    .sum(axis=1)
-            return x.mean(axis=(1, 2))
+            return self._divided_from_tokens(self.embed(video))
         # factorized
-        from repro.autograd import functional as F
         frames = video.shape[1]
         x = self.embed(video)  # (B, T, N, D)
         dim = x.shape[-1]
         n_patches = x.shape[2]
-        x = x.reshape(batch * frames, n_patches, dim)
+        summaries = self._spatial_summaries(
+            x.reshape(batch * frames, n_patches, dim)
+        ).reshape(batch, frames, dim)
+        return self._temporal_from_summaries(summaries)
+
+    # -- shared stages (full forward + frame-reuse hooks) ---------------
+    def _divided_from_tokens(self, tokens: Tensor) -> Tensor:
+        """Divided-attention feature from patch tokens ``(B, T, N, D)``."""
+        batch = tokens.shape[0]
+        x = tokens + self.pos_spatial + self.pos_temporal
+        x = self.drop(x)
+        for block in self.blocks:
+            x = block(x)
+        x = self.norm(x)
+        if self.config.pool == "attention":
+            from repro.autograd import functional as F
+            frames, patches, dim = x.shape[1], x.shape[2], x.shape[3]
+            flat = x.reshape(batch, frames * patches, dim)
+            scores = (flat * self.pool_query.reshape(1, 1, dim)) \
+                .sum(axis=-1) * (1.0 / np.sqrt(dim))
+            weights = F.softmax(scores, axis=-1)
+            return (flat
+                    * weights.reshape(batch, frames * patches, 1)) \
+                .sum(axis=1)
+        return x.mean(axis=(1, 2))
+
+    def _spatial_summaries(self, tokens: Tensor) -> Tensor:
+        """Factorized spatial stage: ``(rows, N, D)`` patch tokens →
+        ``(rows, D)`` per-frame summaries.  Row-independent — each
+        frame's summary does not depend on what else is in the batch —
+        which is what makes frame summaries reusable across windows."""
+        from repro.autograd import functional as F
+        rows = tokens.shape[0]
         cls_s = self.cls_spatial * Tensor(
-            np.ones((batch * frames, 1, 1), dtype=np.float32)
+            np.ones((rows, 1, 1), dtype=np.float32)
         )
-        x = F.concat([cls_s, x], axis=1) + self.pos_spatial
+        x = F.concat([cls_s, tokens], axis=1) + self.pos_spatial
         x = self.drop(x)
         with span("nn/encoder/spatial"):
             x = self.spatial_encoder(x)
-        frame_feats = x[:, 0].reshape(batch, frames, dim)
+        return x[:, 0]
+
+    def _temporal_from_summaries(self, summaries: Tensor) -> Tensor:
+        """Factorized temporal stage: ``(B, T, D)`` frame summaries →
+        pooled clip feature ``(B, D)``."""
+        from repro.autograd import functional as F
+        batch = summaries.shape[0]
         cls_t = self.cls_temporal * Tensor(
             np.ones((batch, 1, 1), dtype=np.float32)
         )
-        y = F.concat([cls_t, frame_feats], axis=1) + self.pos_temporal
+        y = F.concat([cls_t, summaries], axis=1) + self.pos_temporal
         with span("nn/encoder/temporal"):
             y = self.temporal_encoder(y)
         return y[:, 0]
+
+    # -- frame-level reuse hooks ----------------------------------------
+    @property
+    def supports_frame_reuse(self) -> bool:
+        """Whether per-frame activations are window-independent.
+
+        True for ``divided`` (patch tokens are per-frame; positional
+        embeddings and all attention come after) and ``factorized``
+        (whole spatial-encoder summaries are per-frame).  ``joint``
+        tubelets span frames, so there is nothing window-independent to
+        memoize."""
+        return self.attention in ("divided", "factorized")
+
+    def frame_features(self, frames: np.ndarray) -> np.ndarray:
+        """Window-independent per-frame features for ``(F, C, H, W)``
+        frames — patch tokens ``(F, N, D)`` under divided attention,
+        spatial-encoder summaries ``(F, D)`` under factorized.
+
+        numpy in/out; run under ``no_grad`` by the caller.  Computing a
+        frame here and splicing it into any window is bit-identical to
+        the full forward, because :meth:`feature` runs these exact
+        stages and every one is row-independent."""
+        if not self.supports_frame_reuse:
+            raise ValueError(
+                f"{self.attention!r} attention has no per-frame stage")
+        video = Tensor(np.ascontiguousarray(frames)[None])
+        tokens = self.embed(video)  # (1, F, N, D)
+        if self.attention == "divided":
+            return tokens.data[0]
+        count, patches, dim = (tokens.shape[1], tokens.shape[2],
+                               tokens.shape[3])
+        return self._spatial_summaries(
+            tokens.reshape(count, patches, dim)).data
+
+    def head_logits_from_frame_features(self, feats: np.ndarray
+                                        ) -> Dict[str, np.ndarray]:
+        """Head logits for windows assembled from memoized
+        :meth:`frame_features` output ``(B, T, ...)`` — the remaining,
+        window-dependent part of the forward pass."""
+        if not self.supports_frame_reuse:
+            raise ValueError(
+                f"{self.attention!r} attention has no per-frame stage")
+        x = Tensor(np.ascontiguousarray(feats))
+        if self.attention == "divided":
+            feature = self._divided_from_tokens(x)
+        else:
+            feature = self._temporal_from_summaries(x)
+        return {k: v.data for k, v in self.head(feature).items()}
 
     def forward(self, video: Tensor) -> Dict[str, Tensor]:
         return self.head(self.feature(video))

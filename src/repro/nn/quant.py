@@ -1,0 +1,110 @@
+"""Weight/activation quantization kernels for the no-grad fast path.
+
+Pure-numpy primitives behind ``precision={"fp16","int8"}`` extraction
+(see :mod:`repro.models.engine` and ``docs/performance.md``):
+
+- **int8 weights** use per-output-channel symmetric quantization:
+  every column of a ``(in, out)`` Linear weight gets its own scale
+  ``absmax / 127``, so wide and narrow channels don't share a grid.
+- **int8 activations** use a *static* per-site symmetric scale fixed by
+  a calibration pass.  Static scales matter beyond latency: they make
+  quantized outputs independent of how rows are batched, which is what
+  lets the sliding-window reuse path assemble per-frame results
+  computed in different batches.
+- **fp16** is storage-only: weights are held in half precision (IEEE
+  754 round-to-nearest via ``astype``) and widened to fp32 for the
+  BLAS matmul.  numpy has no half-precision BLAS, so computing *in*
+  fp16 would be a ~200x slowdown, not a win.
+
+The integer path never leaves float32: quantized values are
+integer-valued float arrays, so ``x_q @ w_q`` runs on BLAS and — for
+the accumulation depths used here (K ≤ a few hundred, so every partial
+sum stays below 2**24) — is bit-exact integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Symmetric int8 grid: codes in [-127, 127] (−128 unused, keeping the
+#: grid symmetric so zero maps to zero exactly).
+QMAX = 127.0
+
+
+def quantize_per_channel(weight: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric int8 quantization of a ``(in, out)`` weight matrix.
+
+    Returns ``(codes, scales)`` where ``codes`` is int8 with the same
+    shape and ``scales`` is ``(out,)`` float32 — one scale per output
+    channel (column), ``absmax / 127``.  All-zero channels get scale
+    1.0 so dequantization is always well-defined.
+    """
+    weight = np.asarray(weight, dtype=np.float32)
+    if weight.ndim != 2:
+        raise ValueError("expected a 2-D (in, out) weight matrix")
+    absmax = np.abs(weight).max(axis=0)
+    scales = np.where(absmax > 0, absmax / QMAX, 1.0).astype(np.float32)
+    codes = np.clip(np.rint(weight / scales), -QMAX, QMAX)
+    return codes.astype(np.int8), scales
+
+
+def dequantize_per_channel(codes: np.ndarray,
+                           scales: np.ndarray) -> np.ndarray:
+    """Invert :func:`quantize_per_channel` back to float32."""
+    return codes.astype(np.float32) * np.asarray(scales,
+                                                 dtype=np.float32)
+
+
+def quantization_error(weight: np.ndarray) -> float:
+    """Max absolute round-trip error of per-channel int8 on ``weight``.
+
+    Bounded by half a quantization step per channel, i.e.
+    ``scales.max() / 2``; used by tests and docs to state the invariant.
+    """
+    codes, scales = quantize_per_channel(weight)
+    return float(np.abs(dequantize_per_channel(codes, scales)
+                        - np.asarray(weight, dtype=np.float32)).max())
+
+
+def activation_scale(absmax: float) -> float:
+    """Static symmetric scale for an activation site from its observed
+    absolute maximum (1.0 for a degenerate all-zero site)."""
+    return float(absmax) / QMAX if absmax > 0 else 1.0
+
+
+def quantize_activations(x: np.ndarray, scale: float) -> np.ndarray:
+    """Quantize activations onto the int8 grid, *kept as float32*.
+
+    The result is integer-valued (round-to-nearest-even, saturating at
+    ±127) so the following matmul runs on fp32 BLAS while performing
+    exact integer arithmetic.  One scratch array, mutated in place.
+    """
+    y = x * np.float32(1.0 / scale)
+    np.rint(y, out=y)
+    np.clip(y, -QMAX, QMAX, out=y)
+    return y
+
+
+def quantize_fp16(weight: np.ndarray) -> np.ndarray:
+    """Half-precision storage copy of a weight (round-to-nearest)."""
+    return np.asarray(weight).astype(np.float16)
+
+
+def dequantize_fp16(weight16: np.ndarray) -> np.ndarray:
+    """Widen an fp16 storage weight back to float32 for BLAS compute."""
+    return weight16.astype(np.float32)
+
+
+__all__ = [
+    "QMAX",
+    "activation_scale",
+    "dequantize_fp16",
+    "dequantize_per_channel",
+    "quantization_error",
+    "quantize_activations",
+    "quantize_fp16",
+    "quantize_per_channel",
+]

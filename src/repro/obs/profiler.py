@@ -26,6 +26,16 @@ WORKLOADS: Dict[str, Dict[str, object]] = {
     "small": dict(model="vt-divided", clips=96, frames=8, epochs=2,
                   batch_size=16, dim=32, depth=2, heads=4,
                   extract_clips=32),
+    # Inference fast paths (docs/performance.md): quantized no-grad
+    # extraction and sliding-window overlap reuse.  Trains two tiny
+    # models (~1s each): a divided transformer for the precision /
+    # accuracy-delta sections and a factorized one for the sliding
+    # section — factorized is the mode whose per-frame stage dominates,
+    # so it carries the reuse speedup gate.
+    "inference": dict(precision_model="vt-divided",
+                      sliding_model="vt-factorized",
+                      clips=48, frames=8, epochs=2, batch_size=16,
+                      dim=48, depth=2, heads=4, video_frames=192),
 }
 
 SCHEMA = "repro.profile/v1"
@@ -39,6 +49,8 @@ def run_profile(workload: str = "smoke", seed: int = 0) -> Dict[str, object]:
             f"{sorted(WORKLOADS)}"
         )
     spec = dict(WORKLOADS[workload])
+    if workload == "inference":
+        return _run_inference_profile(spec, seed)
 
     from repro.core import ScenarioExtractor
     from repro.data import SynthDriveConfig, generate_dataset
@@ -141,6 +153,61 @@ def run_profile(workload: str = "smoke", seed: int = 0) -> Dict[str, object]:
     }
 
 
+def _run_inference_profile(spec: Dict[str, object],
+                           seed: int) -> Dict[str, object]:
+    """The ``inference`` workload: quantized-precision latency +
+    accuracy deltas and sliding-window overlap-reuse timing.
+
+    Both models are trained from scratch (seconds at this scale) so the
+    accuracy-delta section scores real decision boundaries rather than
+    random heads, and the report is deterministic for a given seed.
+    """
+    from repro.data import SynthDriveConfig, generate_dataset
+    from repro.eval.efficiency import (
+        precision_profile,
+        quantized_accuracy_delta,
+        sliding_reuse_profile,
+    )
+    from repro.models import ModelConfig, build_model
+    from repro.train import TrainConfig, Trainer
+
+    dataset = generate_dataset(SynthDriveConfig(
+        num_clips=int(spec["clips"]), frames=int(spec["frames"]),
+        seed=seed,
+    ))
+
+    def _trained(name: str):
+        model = build_model(name, ModelConfig(
+            frames=int(spec["frames"]), dim=int(spec["dim"]),
+            depth=int(spec["depth"]), num_heads=int(spec["heads"]),
+            seed=seed,
+        ))
+        Trainer(model, TrainConfig(
+            epochs=int(spec["epochs"]),
+            batch_size=int(spec["batch_size"]), seed=seed,
+        )).fit(dataset)
+        return model
+
+    precision_model = _trained(str(spec["precision_model"]))
+    sliding_model = _trained(str(spec["sliding_model"]))
+
+    precision = precision_profile(precision_model,
+                                  batch_size=int(spec["batch_size"]),
+                                  seed=seed)
+    precision.update(quantized_accuracy_delta(precision_model, dataset))
+    sliding = sliding_reuse_profile(sliding_model,
+                                    video_frames=int(spec["video_frames"]),
+                                    seed=seed)
+    return {
+        "schema": SCHEMA,
+        "workload": "inference",
+        "seed": seed,
+        "spec": spec,
+        "precision": precision,
+        "sliding": sliding,
+    }
+
+
 def _epoch_dict(record) -> Dict[str, object]:
     row = asdict(record)
     row.pop("val_metrics", None)
@@ -197,6 +264,14 @@ _COMPARE_STAGES = (
     ("extract/total", ("extract", "total_seconds"), 1.0),
     ("data/collate", ("data", "collate_seconds"), 1.0),
     ("inference/clip", ("inference", "ms_per_clip"), 1e-3),
+    # ``inference`` workload sections (absent from smoke/small reports
+    # and silently skipped there — compare_reports only diffs stages
+    # present in both reports).
+    ("sliding/naive", ("sliding", "naive_seconds"), 1.0),
+    ("sliding/memoized", ("sliding", "memoized_seconds"), 1.0),
+    ("precision/fp32", ("precision", "fp32_ms_per_clip"), 1e-3),
+    ("precision/fp16", ("precision", "fp16_ms_per_clip"), 1e-3),
+    ("precision/int8", ("precision", "int8_ms_per_clip"), 1e-3),
 )
 
 
@@ -268,6 +343,8 @@ def format_comparison(comparison: Dict[str, object]) -> str:
 
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable rendering of a :func:`run_profile` report."""
+    if "train" not in report:
+        return _format_inference_report(report)
     lines = [
         f"profile report — workload={report['workload']} "
         f"(schema {report['schema']})",
@@ -331,4 +408,50 @@ def format_report(report: Dict[str, object]) -> str:
         self_s = row.get("self_seconds", 0.0)
         lines.append(f"  {row['op']:<16} {row['seconds']:9.4f}s "
                      f"{self_s:9.4f}s ({row['calls']} calls)")
+    return "\n".join(lines)
+
+
+def _format_inference_report(report: Dict[str, object]) -> str:
+    """Rendering for the ``inference`` workload report shape."""
+    spec = report["spec"]
+    precision = report["precision"]
+    sliding = report["sliding"]
+    lines = [
+        f"profile report — workload={report['workload']} "
+        f"(schema {report['schema']})",
+        "",
+        f"precision ({spec['precision_model']}, trained, "
+        f"batch {precision['batch_size']}):",
+    ]
+    for mode in ("fp32", "fp16", "int8"):
+        key = f"{mode}_ms_per_clip"
+        if key not in precision:
+            continue
+        extras = []
+        if f"{mode}_speedup" in precision:
+            extras.append(f"{precision[f'{mode}_speedup']:.2f}x vs fp32")
+        if f"{mode}_macro_f1_drop_pts" in precision:
+            extras.append(
+                f"macro-F1 drop "
+                f"{precision[f'{mode}_macro_f1_drop_pts']:.2f}pt")
+        note = f"  ({', '.join(extras)})" if extras else ""
+        lines.append(f"  {mode:<6} {precision[key]:8.3f} ms/clip{note}")
+    if "int8_weight_compression" in precision:
+        lines.append(
+            f"  int8 projection weights "
+            f"{precision['int8_weight_bytes'] / 1e3:.1f} kB vs "
+            f"{precision['fp32_weight_bytes'] / 1e3:.1f} kB fp32 "
+            f"({precision['int8_weight_compression']:.2f}x smaller)")
+    lines += [
+        "",
+        f"sliding reuse ({spec['sliding_model']}, trained, "
+        f"{sliding['video_frames']} frames, window {sliding['window']}, "
+        f"stride {sliding['stride']}, {sliding['windows']} windows):",
+        f"  naive    {sliding['naive_seconds'] * 1e3:8.1f} ms",
+        f"  memoized {sliding['memoized_seconds'] * 1e3:8.1f} ms "
+        f"({sliding['reuse_speedup']:.2f}x, "
+        f"{sliding['frame_hits']}/{sliding['frame_hits'] + sliding['frame_misses']} "
+        f"frame slots reused, bitwise identical: "
+        f"{sliding['bitwise_identical']})",
+    ]
     return "\n".join(lines)

@@ -299,6 +299,10 @@ def snapshot_from_service(service,
         },
         "reloads": int(metrics.counter("serve.reloads").value),
         "flight_dumps": 0,
+        "extractor": {
+            "precision": health.get("precision", "fp32"),
+            "reuse": health.get("reuse"),
+        },
         "quality": quality,
         "slo": slo_report if slo_report is not None
         else health.get("slo", {"objectives": {}, "alerts": []}),
@@ -339,6 +343,16 @@ def render(snapshot: Dict[str, object]) -> str:
         f"(hit rate {cache['hit_rate']:.0%})",
         f"  breaker    {breaker['state']} ({breaker['trips']} trips)",
     ]
+    extractor = snapshot.get("extractor")
+    if extractor is not None:
+        line = f"  extractor  precision={extractor['precision']}"
+        reuse = extractor.get("reuse") or {}
+        if reuse.get("supported") and (reuse.get("frame_hits", 0)
+                                       or reuse.get("frame_misses", 0)):
+            line += (f"   frame reuse {reuse['frame_hits']} hits / "
+                     f"{reuse['frame_misses']} misses "
+                     f"({reuse['hit_rate']:.0%})")
+        lines.append(line)
     p95 = slo.get("p95_latency_s")
     if p95 is not None:
         lines.append(f"  latency    p95 {p95 * 1e3:.1f} ms")

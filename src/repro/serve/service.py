@@ -370,10 +370,12 @@ class ExtractionService:
                  events: Optional[EventLog] = None,
                  slo: Optional[Union[SLOConfig, SLOTracker]] = None,
                  quality: Optional[Union[QualityConfig,
-                                         QualityMonitor]] = None
-                 ) -> None:
+                                         QualityMonitor]] = None,
+                 precision: str = "fp32") -> None:
         if isinstance(extractor, Module):
-            extractor = ScenarioExtractor(extractor)
+            # ``precision`` only applies when the service builds the
+            # extractor itself; a prebuilt extractor keeps its own.
+            extractor = ScenarioExtractor(extractor, precision=precision)
         self.config = config or ServiceConfig()
         self._primary = extractor
         self._model_lock = threading.Lock()
@@ -634,10 +636,14 @@ class ExtractionService:
             "inflight": self._inflight,
             "breaker": breaker_state,
             "model_version": self.model_version,
+            "precision": getattr(self._primary, "precision", "fp32"),
             "uptime_s": (time.monotonic() - self._started_at
                          if running else 0.0),
             "requests": counts,
         }
+        reuse_stats = getattr(self._primary, "reuse_stats", None)
+        if reuse_stats is not None:
+            report["reuse"] = reuse_stats()
         if self.cache is not None:
             report["cache"] = self.cache.stats()
         report["slo"] = self.slo.report()
