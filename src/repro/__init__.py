@@ -45,6 +45,7 @@ _API_EXPORTS = (
     "ScenarioExtractor",
     "ServiceClient",
     "ServiceConfig",
+    "ServicePool",
     "extract_clip",
     "extract_video",
     "load_extractor",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -47,10 +48,17 @@ from repro.sdl.codec import LabelCodec
 from repro.sdl.description import ScenarioDescription
 from repro.serve.client import ServiceClient
 from repro.serve.config import ServiceConfig
+from repro.serve.pool import ServicePool
 from repro.serve.service import ExtractionService
 
 #: Anything the facade can turn into an extractor.
 ExtractorSource = Union[ScenarioExtractor, Module, str, "os.PathLike"]
+
+#: Polymorphic cache parameter: a prebuilt store or a directory path.
+CacheLike = Union[ExtractionCache, str, "os.PathLike", None]
+
+#: Polymorphic event-log parameter: a prebuilt log or a directory path.
+EventsLike = Union[EventLog, str, "os.PathLike", None]
 
 #: Request ids for direct facade calls (``extract_clip`` /
 #: ``extract_video``) — same correlation machinery as the service, so
@@ -103,14 +111,52 @@ def _as_extractor(source: ExtractorSource) -> ScenarioExtractor:
     return load_extractor(source)
 
 
-def _as_cache(cache: Optional[ExtractionCache],
+def _coerce(value, legacy, cls, name: str, legacy_name: str):
+    """Shared coercer behind the polymorphic store parameters.
+
+    Every facade entry point takes ``cache=`` / ``events=`` as *either*
+    a prebuilt instance *or* a directory path (str / PathLike) — one
+    parameter instead of the historical ``cache``/``cache_dir`` and
+    ``events``/``events_dir`` either-or pairs.  The old ``*_dir``
+    spellings still work (routed through here) but raise a
+    ``DeprecationWarning``.
+    """
+    if legacy is not None:
+        warnings.warn(
+            f"{legacy_name}= is deprecated; pass {name}= "
+            f"(a directory path or a {cls.__name__})",
+            DeprecationWarning, stacklevel=3)
+        if value is not None:
+            raise ValueError(
+                f"pass either {name} or {legacy_name}, not both")
+        value = legacy
+    if value is None or isinstance(value, cls):
+        return value
+    return cls(os.fspath(value))
+
+
+def _as_cache(cache: CacheLike,
               cache_dir: Optional[str]) -> Optional[ExtractionCache]:
-    """Resolve the cache arguments shared by the corpus entry points."""
-    if cache is not None and cache_dir is not None:
-        raise ValueError("pass either cache or cache_dir, not both")
-    if cache_dir is not None:
-        return ExtractionCache(cache_dir)
-    return cache
+    return _coerce(cache, cache_dir, ExtractionCache,
+                   "cache", "cache_dir")
+
+
+def _as_events(events: EventsLike,
+               events_dir: Optional[str]) -> Optional[EventLog]:
+    return _coerce(events, events_dir, EventLog, "events", "events_dir")
+
+
+def _as_config(config: Union[ServiceConfig, dict, None],
+               config_kwargs: dict) -> ServiceConfig:
+    """``config`` is a prebuilt :class:`ServiceConfig`, a mapping of its
+    fields, or ``None`` with the fields given as keyword arguments."""
+    if config is not None and config_kwargs:
+        raise ValueError("pass either config or keyword fields, not both")
+    if config is None:
+        return ServiceConfig(**config_kwargs)
+    if isinstance(config, ServiceConfig):
+        return config
+    return ServiceConfig(**dict(config))
 
 
 def extract_clip(source: ExtractorSource,
@@ -128,14 +174,16 @@ def extract_clip(source: ExtractorSource,
 
 def extract_video(source: ExtractorSource, video: np.ndarray,
                   window: int, stride: int,
-                  cache: Optional[ExtractionCache] = None,
+                  cache: CacheLike = None,
                   cache_dir: Optional[str] = None
                   ) -> List[ExtractionResult]:
     """Sliding-window description timeline over a long video
     ``(T, C, H, W)`` — one result per window with its frame range.
 
-    With a cache, windows whose content was described before (under the
-    same model version / vocabulary / threshold) skip the forward pass.
+    ``cache`` is a prebuilt :class:`ExtractionCache` or a directory
+    path; windows whose content was described before (under the same
+    model version / vocabulary / threshold) skip the forward pass.
+    (``cache_dir=`` is the deprecated spelling of ``cache=<path>``.)
     The whole timeline shares one correlation context (one trace id for
     the video; see :func:`extract_clip`).
     """
@@ -149,7 +197,7 @@ def extract_video(source: ExtractorSource, video: np.ndarray,
 def mine(source: ExtractorSource, clips: np.ndarray,
          query: Optional[ScenarioDescription] = None,
          top_k: int = 5, min_score: float = 0.0,
-         cache: Optional[ExtractionCache] = None,
+         cache: CacheLike = None,
          cache_dir: Optional[str] = None,
          **tags) -> List[MiningHit]:
     """Search a corpus ``(N, T, C, H, W)`` for a scenario.
@@ -157,9 +205,11 @@ def mine(source: ExtractorSource, clips: np.ndarray,
     The query is either a full :class:`ScenarioDescription` or keyword
     tags (``ego_action="stop"``, ``actors={"pedestrian"}`` ...).  Clips
     are ranked by SDL similarity between the query and each clip's
-    *extracted* description.  Pass ``cache``/``cache_dir`` to reuse
-    descriptions across calls: mining an already-cached corpus performs
-    zero extractor forward passes (see ``docs/caching.md``).
+    *extracted* description.  Pass ``cache=`` (an
+    :class:`ExtractionCache` or a directory path; ``cache_dir=`` is the
+    deprecated spelling) to reuse descriptions across calls: mining an
+    already-cached corpus performs zero extractor forward passes (see
+    ``docs/caching.md``).
     """
     extractor = _as_extractor(source)
     miner = ScenarioMiner(extractor, cache=_as_cache(cache, cache_dir))
@@ -173,12 +223,12 @@ def mine(source: ExtractorSource, clips: np.ndarray,
 
 def retrieve(source: ExtractorSource, clips: np.ndarray,
              query: ScenarioDescription, top_k: int = 5,
-             cache: Optional[ExtractionCache] = None,
+             cache: CacheLike = None,
              cache_dir: Optional[str] = None) -> List[int]:
     """Text→video retrieval: clip indices of ``(N, T, C, H, W)`` ranked
     by SDL-embedding similarity between ``query`` and each clip's
-    extracted description.  ``cache``/``cache_dir`` reuse descriptions
-    exactly as in :func:`mine`."""
+    extracted description.  ``cache=`` (instance or directory path)
+    reuses descriptions exactly as in :func:`mine`."""
     extractor = _as_extractor(source)
     index = RetrievalIndex(extractor=extractor,
                            cache=_as_cache(cache, cache_dir))
@@ -187,46 +237,76 @@ def retrieve(source: ExtractorSource, clips: np.ndarray,
 
 
 def serve(source: ExtractorSource,
-          config: Optional[ServiceConfig] = None,
-          cache: Optional[ExtractionCache] = None,
+          config: Union[ServiceConfig, dict, None] = None,
+          *,
+          workers: int = 1,
+          cache: CacheLike = None,
           cache_dir: Optional[str] = None,
-          events: Optional[EventLog] = None,
+          events: EventsLike = None,
           events_dir: Optional[str] = None,
           slo: Optional[Union[SLOConfig, SLOTracker]] = None,
           quality: Optional[Union[QualityConfig, QualityMonitor]] = None,
           precision: Optional[str] = None,
-          **config_kwargs) -> ExtractionService:
-    """A started :class:`ExtractionService` over ``source``.
+          **config_kwargs) -> Union[ExtractionService, ServicePool]:
+    """A started extraction service over ``source``.
 
-    Keyword arguments are :class:`ServiceConfig` fields (``max_batch``,
-    ``max_wait_s``, ``max_queue`` ...).  ``cache``/``cache_dir`` attach
-    an extraction cache: hits answer before the micro-batch queue with
-    ``cached=True``.  ``events``/``events_dir`` attach a structured
-    :class:`~repro.obs.events.EventLog` recording request lifecycles
-    (``repro top --from-events`` reads it live); ``slo`` configures the
-    burn-rate objectives reported by ``health()``; ``quality`` (a
+    ``workers=1`` (default) returns an in-process
+    :class:`ExtractionService`; ``workers=N`` returns a
+    :class:`~repro.serve.pool.ServicePool` of N process-based replicas
+    behind a deterministic content-hash shard router — a drop-in with
+    the same ``submit`` / ``extract`` / ``reload`` / ``health`` /
+    ``stop`` surface (see ``docs/serving.md``).
+
+    ``config`` is a prebuilt :class:`ServiceConfig`, a dict of its
+    fields, or omitted with the fields passed as keyword arguments
+    (``max_batch``, ``max_wait_s``, ``max_queue`` ...).  ``cache``
+    attaches an extraction cache — pass a prebuilt
+    :class:`ExtractionCache` or a directory path; with a pool, each
+    worker opens its own shard store under that directory.  ``events``
+    (an :class:`~repro.obs.events.EventLog` or a directory path)
+    records request lifecycles (``repro top --from-events`` reads it
+    live); ``slo`` configures the burn-rate objectives reported by
+    ``health()``; ``quality`` (a
     :class:`~repro.obs.quality.QualityConfig` or prebuilt monitor)
     turns on model-quality observability — scorecards, drift alerts
     and the canary gate on ``reload()`` (refusals raise
-    :class:`~repro.obs.quality.CanaryRefusedError`).  Use as a context
-    manager or call ``.stop()``; pair with :class:`ServiceClient` for
-    bursts.
+    :class:`~repro.obs.quality.CanaryRefusedError`).  The old
+    ``cache_dir=`` / ``events_dir=`` spellings still work with a
+    ``DeprecationWarning``.
+
+    ``precision`` selects the inference path of the served model and
+    only applies when the service builds the extractor (model or
+    checkpoint source); passing it alongside a prebuilt
+    :class:`ScenarioExtractor` whose precision differs raises
+    ``ValueError`` instead of silently serving the extractor's own.
+
+    Use as a context manager or call ``.stop()``; pair with
+    :class:`ServiceClient` for bursts.
     """
-    if config is not None and config_kwargs:
-        raise ValueError("pass either config or keyword fields, not both")
-    if events is not None and events_dir is not None:
-        raise ValueError("pass either events or events_dir, not both")
-    if config is None:
-        config = ServiceConfig(**config_kwargs)
-    if events_dir is not None:
-        events = EventLog(events_dir)
-    if precision is not None and not isinstance(source,
-                                                ScenarioExtractor):
-        # Build the served extractor at the requested precision; a
-        # prebuilt extractor keeps its own (load_extractor convention).
+    config = _as_config(config, config_kwargs)
+    events = _as_events(events, events_dir)
+    resolved_cache = _as_cache(cache, cache_dir)
+    if isinstance(source, ScenarioExtractor):
+        if (precision is not None
+                and precision != getattr(source, "precision", "fp32")):
+            raise ValueError(
+                f"precision={precision!r} conflicts with the prebuilt "
+                f"extractor's precision="
+                f"{getattr(source, 'precision', 'fp32')!r}; rebuild it "
+                f"via load_extractor(..., precision={precision!r}) or "
+                f"pass the model/checkpoint instead"
+            )
+    elif precision is not None:
         source = load_extractor(source, precision=precision)
-    return ExtractionService(_as_extractor(source), config,
-                             cache=_as_cache(cache, cache_dir),
+    extractor = _as_extractor(source)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers > 1:
+        return ServicePool(extractor, config, workers=workers,
+                           cache=resolved_cache, events=events,
+                           slo=slo, quality=quality).start()
+    return ExtractionService(extractor, config,
+                             cache=resolved_cache,
                              events=events, slo=slo,
                              quality=quality).start()
 
@@ -248,6 +328,7 @@ __all__ = [
     "ScenarioMiner",
     "ServiceClient",
     "ServiceConfig",
+    "ServicePool",
     "extract_clip",
     "extract_video",
     "load_extractor",

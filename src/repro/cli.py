@@ -288,8 +288,10 @@ def cmd_mine(args) -> int:
 def cmd_serve(args) -> int:
     """``serve``: run the extraction service against a request burst.
 
-    Loads a checkpoint, starts the micro-batching service, drives
-    ``--requests`` concurrent extractions from the dataset through a
+    Loads a checkpoint, starts the micro-batching service —
+    ``--workers N`` (N > 1) scales it out to an N-process sharded
+    :class:`~repro.serve.pool.ServicePool` — drives ``--requests``
+    concurrent extractions from the dataset through a
     :class:`~repro.serve.client.ServiceClient`, and prints the
     per-status accounting plus batching/latency metrics.  Optional
     ``--inject-*`` flags exercise the retry / shedding / degradation
@@ -318,6 +320,7 @@ def cmd_serve(args) -> int:
         QualityConfig,
         ServiceClient,
         ServiceConfig,
+        ServicePool,
     )
 
     dataset = SynthDriveDataset.load(args.data)
@@ -364,8 +367,24 @@ def cmd_serve(args) -> int:
             canary_min_agreement=args.canary_floor,
             seed=args.seed,
         )
-    service = ExtractionService(extractor, config, fault_injector=injector,
-                                events=events, slo=slo, quality=quality)
+    if args.workers > 1:
+        # Sharded process pool: each worker rebuilds the injector from
+        # its picklable spec with a per-rank seed offset.
+        service = ServicePool(extractor, config, workers=args.workers,
+                              fault_injector=injector,
+                              cache=(args.cache_dir or None),
+                              events=events, slo=slo, quality=quality)
+    else:
+        if args.cache_dir:
+            from repro.core.cache import ExtractionCache
+
+            cache = ExtractionCache(args.cache_dir)
+        else:
+            cache = None
+        service = ExtractionService(extractor, config,
+                                    fault_injector=injector, cache=cache,
+                                    events=events, slo=slo,
+                                    quality=quality)
     clips = [dataset.videos[i % len(dataset.videos)]
              for i in range(args.requests)]
     if args.shift_after > 0:
@@ -411,6 +430,7 @@ def cmd_serve(args) -> int:
     summary = {
         "schema": "repro.serve/v1",
         "requests": args.requests,
+        "workers": args.workers,
         "concurrency": args.concurrency,
         "elapsed_s": elapsed,
         "served_clips_per_s": served / elapsed if elapsed > 0 else 0.0,
@@ -419,13 +439,17 @@ def cmd_serve(args) -> int:
                                     "error")},
         "silent_failures": args.requests - sum(counts.values()),
         "retried_requests": sum(1 for r in results if r.retries > 0),
-        "batches": {
+        "health": health,
+    }
+    if args.workers <= 1:
+        # Micro-batch sizes are a per-replica statistic; pool workers
+        # batch in their own processes, so the parent histogram would
+        # read zero — per-worker health carries their state instead.
+        summary["batches"] = {
             "count": batch_hist.count,
             "mean_size": batch_hist.mean,
             "max_size": batch_hist.max if batch_hist.count else 0.0,
-        },
-        "health": health,
-    }
+        }
     quality_report = health.get("quality")
     if quality_report is not None:
         summary["quality"] = {
@@ -443,9 +467,13 @@ def cmd_serve(args) -> int:
         for status, n in summary["statuses"].items():
             if n:
                 print(f"  {status:9s} {n}")
-        print(f"  batches: {batch_hist.count} "
-              f"(mean size {batch_hist.mean:.1f}, "
-              f"max {summary['batches']['max_size']:.0f})")
+        if args.workers <= 1:
+            print(f"  batches: {batch_hist.count} "
+                  f"(mean size {batch_hist.mean:.1f}, "
+                  f"max {summary['batches']['max_size']:.0f})")
+        else:
+            workers_up = health.get("workers_up", args.workers)
+            print(f"  pool: {workers_up}/{args.workers} workers up")
         print(f"  breaker: {health['breaker']}, "
               f"model v{health['model_version']}")
         if quality_report is not None:
@@ -645,6 +673,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--threshold", type=float, default=0.5)
     serve.add_argument("--requests", type=int, default=64)
     serve.add_argument("--concurrency", type=int, default=8)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="extraction worker processes; >1 runs the "
+                            "sharded ServicePool (clips route to workers "
+                            "by content hash; see docs/serving.md)")
+    serve.add_argument("--cache-dir", default="",
+                       help="extraction cache directory; with --workers "
+                            "each worker opens its own shard store "
+                            "under it")
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--max-wait-ms", type=float, default=5.0,
                        help="micro-batch flush deadline")

@@ -100,6 +100,24 @@ def cache_key(clip_hash: str, model_version: str, vocab_hash: str,
     return f"{clip_hash}:{model_version}:{vocab_hash}:t{threshold:g}"
 
 
+def shard_cache_dir(cache_dir: str, rank: int, world_size: int) -> str:
+    """The per-shard store directory of one serving-pool worker.
+
+    The pool router (:mod:`repro.serve.router`) sends each clip to the
+    worker picked by its content hash, so shard ``rank`` of
+    ``world_size`` is the *only* process that ever reads or writes this
+    directory — cache coherence across the pool falls out of the
+    routing function, with no cross-process locking.  The directory
+    name carries the world size because resharding (changing the worker
+    count) changes every assignment: a ``3``-wide pool must never serve
+    from a ``2``-wide pool's shards.
+    """
+    if rank < 0 or rank >= world_size:
+        raise ValueError(f"rank {rank} outside world of {world_size}")
+    return os.path.join(os.fspath(cache_dir),
+                        f"shard-{rank:02d}-of-{world_size:02d}")
+
+
 class ExtractionCache:
     """On-disk (or in-memory) store of extraction results by cache key.
 
@@ -370,4 +388,5 @@ __all__ = [
     "clip_content_hash",
     "extractor_version",
     "model_fingerprint",
+    "shard_cache_dir",
 ]

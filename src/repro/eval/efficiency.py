@@ -126,7 +126,7 @@ def batch_scaling(model: Module, batch_sizes=(1, 4, 16),
 def service_scaling(model: Module, requests: int = 32,
                     concurrency=(1, 4, 8), max_batch: int = 8,
                     max_wait_s: float = 0.002,
-                    seed: int = 0) -> Dict[str, object]:
+                    seed: int = 0, workers=()) -> Dict[str, object]:
     """Served throughput/latency as a function of caller concurrency.
 
     Compares the serving stack (micro-batched
@@ -138,8 +138,19 @@ def service_scaling(model: Module, requests: int = 32,
     coalesces requests and per-clip latency approaches the batched
     floor.
 
-    Returns ``{"serial": {...}, "service": {level: {...}}}`` where each
-    entry reports ``clips_per_s`` / ``ms_per_clip`` (and per-level
+    ``workers`` additionally measures the sharded
+    :class:`~repro.serve.pool.ServicePool` at each listed width — the
+    horizontal-scaling curve.  Each width serves the *same* burst of
+    distinct random clips (distinct content hashes spread evenly over
+    the shards; cycling a handful of clips would starve some ranks),
+    after a warm-up burst excluded from timing, and ``speedup`` is
+    reported against the first listed width — so passing ``(1, 2, 4)``
+    measures pool-vs-pool with the IPC overhead in both numerator and
+    denominator, which is the number the CI near-linear gate bounds.
+
+    Returns ``{"serial": {...}, "service": {level: {...}}}`` (plus
+    ``"pool": {width: {...}}`` when ``workers`` is non-empty) where
+    each entry reports ``clips_per_s`` / ``ms_per_clip`` (and per-level
     ``mean_batch_size`` plus latency percentiles for the service).
     """
     from repro.core.pipeline import ScenarioExtractor
@@ -195,7 +206,43 @@ def service_scaling(model: Module, requests: int = 32,
             "mean_batch_size": ((batch_hist.sum - size_before) / batches
                                 if batches else 0.0),
         }
-    return {"serial": serial, "service": per_level}
+    report: Dict[str, object] = {"serial": serial, "service": per_level}
+    if workers:
+        from repro.serve.pool import ServicePool
+
+        pool_rng = np.random.default_rng(seed + 1)
+        pool_clips = pool_rng.random(
+            (requests, cfg.frames, cfg.channels, cfg.height, cfg.width)
+        ).astype(np.float32)
+        burst_concurrency = min(requests, 32)
+        per_width: Dict[int, Dict[str, float]] = {}
+        baseline = None
+        for width in workers:
+            config = ServiceConfig(max_batch=max_batch,
+                                   max_wait_s=max_wait_s,
+                                   max_queue=max(requests, 1))
+            with ServicePool(model, config, workers=int(width)) as pool:
+                client = ServiceClient(pool)
+                # Warm-up burst (first forward pays one-time numpy
+                # initialisation per process) — excluded from timing.
+                warm = pool_clips[:min(requests, 4 * int(width))]
+                client.extract_many(list(warm),
+                                    concurrency=burst_concurrency)
+                start = time.perf_counter()
+                client.extract_many(list(pool_clips),
+                                    concurrency=burst_concurrency)
+                elapsed = time.perf_counter() - start
+            entry = {
+                "clips_per_s": requests / elapsed,
+                "ms_per_clip": elapsed / requests * 1000.0,
+            }
+            if baseline is None:
+                baseline = entry["clips_per_s"]
+            entry["speedup"] = (entry["clips_per_s"] / baseline
+                                if baseline else 0.0)
+            per_width[int(width)] = entry
+        report["pool"] = per_width
+    return report
 
 
 def observability_overhead(model: Module, requests: int = 32,

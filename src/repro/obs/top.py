@@ -3,8 +3,12 @@
 Renders a refreshing view of throughput, queue depth, batch-size
 distribution, circuit-breaker state, cache hit rate, firing SLO
 alerts and — when quality monitoring is on — a quality panel
-(``quality_window`` cadence, drift alerts, canary verdicts).  Two
-sources:
+(``quality_window`` cadence, drift alerts, canary verdicts).  Pool
+runs (``repro serve --workers N``) add a per-worker panel: routed /
+shed / per-status counts replayed from the ``worker``-stamped events,
+or the live ``repro.health/v1`` pool rollup's worker sub-documents
+(:func:`snapshot_from_service` consumes only that versioned schema).
+Two sources:
 
 - **a recorded event log** (``--from-events DIR``): the snapshot is
   computed purely from ``repro.events/v1`` records, so the dashboard
@@ -59,6 +63,8 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
         records = list(source)
 
     statuses: "_Counter[str]" = _Counter()
+    per_worker: Dict[int, Dict[str, object]] = {}
+    pool_workers: Optional[int] = None
     batch_sizes: List[float] = []
     retried_ids = set()
     cache_hits = cache_misses = 0
@@ -80,6 +86,12 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
     terminals: "_Counter[int]" = _Counter()
     seen_ids = set()
     trace_ids: Dict[int, set] = {}
+
+    def _worker_stats(rank) -> Dict[str, object]:
+        return per_worker.setdefault(int(rank), {
+            "routed": 0, "statuses": _Counter(), "shed": 0,
+            "drains": 0, "reloads": 0, "dead": False,
+        })
 
     for record in records:
         mono = record.get("mono")
@@ -120,6 +132,18 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
             reloads += 1
         elif event == "flight_dump":
             flight_dumps += 1
+        elif event == "route" and record.get("worker") is not None:
+            _worker_stats(record["worker"])["routed"] += 1
+        elif event == "shed" and record.get("worker") is not None:
+            _worker_stats(record["worker"])["shed"] += 1
+        elif event == "worker_drain":
+            _worker_stats(record.get("worker", 0))["drains"] += 1
+        elif event == "worker_reload":
+            _worker_stats(record.get("worker", 0))["reloads"] += 1
+        elif event == "worker_dead":
+            _worker_stats(record.get("worker", 0))["dead"] = True
+        elif event == "pool_start":
+            pool_workers = record.get("workers")
         elif event == "quality_window":
             quality_windows += 1
             last_window = {
@@ -151,6 +175,8 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
         elif event == _TERMINAL:
             status = record.get("status", "unknown")
             statuses[status] += 1
+            if record.get("worker") is not None:
+                _worker_stats(record["worker"])["statuses"][status] += 1
             terminals[rid] += 1
             tracker.record_request(
                 status in _SERVED,
@@ -172,6 +198,18 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
                                  if n > 1)
     multi_trace = sorted(rid for rid, tids in trace_ids.items()
                          if len(tids) > 1)
+    pool = None
+    if per_worker or pool_workers is not None:
+        pool = {
+            "workers": (pool_workers if pool_workers is not None
+                        else len(per_worker)),
+            "per_worker": {
+                str(rank): {**stats,
+                            "statuses": dict(sorted(
+                                stats["statuses"].items()))}
+                for rank, stats in sorted(per_worker.items())
+            },
+        }
     return {
         "schema": SCHEMA,
         "source": "events",
@@ -207,6 +245,7 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
         },
         "reloads": reloads,
         "flight_dumps": flight_dumps,
+        "pool": pool,
         "quality": {
             "windows": quality_windows,
             "last_window": last_window,
@@ -233,12 +272,42 @@ def snapshot_from_service(service,
                           slo_report: Optional[Dict[str, object]] = None
                           ) -> Dict[str, object]:
     """A ``repro.top/v1`` snapshot of a running, in-process
-    :class:`~repro.serve.service.ExtractionService`."""
+    :class:`~repro.serve.service.ExtractionService` or
+    :class:`~repro.serve.pool.ServicePool`.
+
+    Consumes only the versioned ``repro.health/v1`` document — any
+    other (or missing) schema is rejected, so the dashboard never
+    renders from an unversioned payload.  A pool health document
+    (``role: "pool"``) additionally populates the per-worker panel from
+    its worker sub-documents.
+    """
     from repro.obs import metrics
     from repro.serve.service import BATCH_SIZE_BUCKETS
 
     health = service.health()
+    schema = health.get("schema")
+    if schema != "repro.health/v1":
+        raise ValueError(
+            f"unsupported health schema {schema!r}; "
+            "expected repro.health/v1")
     counts = service.status_counts()
+    pool = None
+    if health.get("role") == "pool":
+        per_worker = {}
+        for rank, doc in sorted(health.get("workers", {}).items(),
+                                key=lambda item: int(item[0])):
+            requests = doc.get("requests") or {}
+            per_worker[str(rank)] = {
+                "status": doc.get("status"),
+                "breaker": doc.get("breaker"),
+                "queue_depth": doc.get("queue_depth"),
+                "model_version": doc.get("model_version"),
+                "requests": sum(requests.values()),
+                "cache_hit_rate": (doc.get("cache") or {}).get(
+                    "hit_rate"),
+            }
+        pool = {"workers": health.get("world_size"),
+                "per_worker": per_worker}
     quality_report = health.get("quality")
     if quality_report is not None:
         canary = quality_report["canary"]
@@ -299,6 +368,7 @@ def snapshot_from_service(service,
         },
         "reloads": int(metrics.counter("serve.reloads").value),
         "flight_dumps": 0,
+        "pool": pool,
         "extractor": {
             "precision": health.get("precision", "fp32"),
             "reuse": health.get("reuse"),
@@ -343,6 +413,33 @@ def render(snapshot: Dict[str, object]) -> str:
         f"(hit rate {cache['hit_rate']:.0%})",
         f"  breaker    {breaker['state']} ({breaker['trips']} trips)",
     ]
+    pool = snapshot.get("pool")
+    if pool:
+        lines.append(f"  pool       {pool.get('workers')} workers")
+        for rank, stats in pool["per_worker"].items():
+            if "statuses" in stats:  # replayed from events
+                status_text = "  ".join(
+                    f"{status}={n}" for status, n
+                    in stats["statuses"].items()) or "-"
+                flags = []
+                if stats.get("reloads"):
+                    flags.append(f"reloads {stats['reloads']}")
+                if stats.get("dead"):
+                    flags.append("DEAD")
+                lines.append(
+                    f"    worker {rank}  routed {stats['routed']:4d}  "
+                    f"shed {stats['shed']}  {status_text}"
+                    + (f"  [{', '.join(flags)}]" if flags else ""))
+            else:  # live pool health rollup
+                hit_rate = stats.get("cache_hit_rate")
+                lines.append(
+                    f"    worker {rank}  {stats.get('status', '?'):8s}"
+                    f"  breaker {stats.get('breaker', '?'):9s}"
+                    f"  depth {stats.get('queue_depth', 0)}"
+                    f"  v{stats.get('model_version', '?')}"
+                    f"  req {stats.get('requests', 0)}"
+                    + (f"  cache {hit_rate:.0%}"
+                       if isinstance(hit_rate, (int, float)) else ""))
     extractor = snapshot.get("extractor")
     if extractor is not None:
         line = f"  extractor  precision={extractor['precision']}"

@@ -6,6 +6,10 @@ A long-running, in-process service over
 - :class:`ExtractionService` — dynamic micro-batching worker with
   per-request timeouts, bounded retry, load shedding, a circuit breaker
   degrading to a cheap fallback model, and atomic checkpoint hot-reload;
+- :class:`ServicePool` — N process-based replicas behind a
+  deterministic content-hash shard router (:class:`ShardRouter`), a
+  drop-in for :class:`ExtractionService` with rolling replica-aware
+  hot-reload and a ``repro.health/v1`` pool health rollup;
 - :class:`ServiceClient` — the in-process caller API
   (``extract`` / ``extract_many`` / ``mine`` / ``health``);
 - :class:`FaultInjector` — configurable failure/latency injection used
@@ -27,6 +31,8 @@ from repro.obs.quality import (
 from repro.serve.client import ServiceClient
 from repro.serve.config import ServiceConfig
 from repro.serve.faults import FaultInjector, InjectedFault, TransientWorkerError
+from repro.serve.pool import HEALTH_SCHEMA, ServicePool
+from repro.serve.router import ShardRouter, shard_of
 from repro.serve.service import (
     BATCH_SIZE_BUCKETS,
     STATUSES,
@@ -44,6 +50,7 @@ __all__ = [
     "DriftConfig",
     "ExtractionService",
     "FaultInjector",
+    "HEALTH_SCHEMA",
     "InjectedFault",
     "QualityConfig",
     "QualityMonitor",
@@ -51,5 +58,8 @@ __all__ = [
     "ServeResult",
     "ServiceClient",
     "ServiceConfig",
+    "ServicePool",
+    "ShardRouter",
     "TransientWorkerError",
+    "shard_of",
 ]

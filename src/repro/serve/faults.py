@@ -56,6 +56,7 @@ class FaultInjector:
         self.latency_s = latency_s
         self.latency_rate = latency_rate
         self.max_failures = max_failures
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._lock = threading.Lock()
         self.calls = 0
@@ -87,3 +88,25 @@ class FaultInjector:
         """Turn all injection off (e.g. to let a tripped breaker heal)."""
         self.failure_rate = 0.0
         self.latency_rate = 0.0
+
+    # -- cross-process transport ---------------------------------------
+    def spec(self) -> dict:
+        """The constructor arguments as a plain (picklable) dict.
+
+        The injector itself holds a thread lock, so it can't cross a
+        process boundary; the serving pool ships this spec instead and
+        each worker rebuilds its own injector from it (with a per-rank
+        seed offset, so ranks draw independent fault sequences).
+        """
+        return {
+            "failure_rate": self.failure_rate,
+            "latency_s": self.latency_s,
+            "latency_rate": self.latency_rate,
+            "seed": self.seed,
+            "max_failures": self.max_failures,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FaultInjector":
+        """Rebuild an injector from :meth:`spec` output."""
+        return cls(**spec)

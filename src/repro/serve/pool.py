@@ -1,0 +1,831 @@
+"""Multi-worker sharded serving pool.
+
+:class:`ServicePool` scales :class:`~repro.serve.service.ExtractionService`
+horizontally: N process-based workers (see :mod:`repro.serve.worker`),
+each running a full single-replica service — its own model replica,
+micro-batch queue, retry/backoff, circuit breaker, fallback model and
+cache shard — behind a parent-side router that shards requests by clip
+content hash (:mod:`repro.serve.router`).  Because the shard is a pure
+function of the clip's content, a given clip always lands on the worker
+whose :class:`~repro.core.cache.ExtractionCache` shard already holds it:
+cache coherence across processes with zero cross-process locking.
+
+The pool is a drop-in for the single service — ``submit`` / ``extract``
+/ ``reload`` / ``health`` / ``stop`` / ``ready`` / ``status_counts`` /
+``model_version`` all behave identically (the existing behavioural
+suite runs against both).  What changes at the pool level:
+
+- **Hot reload is replica-aware.**  ``reload`` rolls rank by rank:
+  routing to the rank is paused (new arrivals for its shard buffer in
+  the parent), its outstanding requests drain, the checkpoint swaps,
+  and the rank is re-admitted — so no worker batch ever mixes model
+  versions, and at most one replica is out of rotation at a time.  The
+  canary gate (:class:`~repro.obs.quality.QualityMonitor`) is applied
+  *once*, at the pool level, before any worker drains.
+- **Health rolls up.**  :meth:`health` returns a versioned
+  ``repro.health/v1`` document with ``role: "pool"``: per-worker
+  sub-documents (each the worker's own full service health) plus
+  aggregated breaker / requests / cache / SLO fields.
+- **Observability is parent-side.**  The pool stamps request ids and
+  trace ids, emits the lifecycle event stream (``enqueue`` → ``route``
+  → ``result``, with ``worker`` fields for the per-worker ``repro top``
+  panel), and feeds the SLO tracker and quality monitor from re-stamped
+  worker results.
+
+Workers that die are failed static: their in-flight requests resolve as
+``"error"`` and later requests routed to their shard are refused with an
+``"error"`` result (restart the pool to recover).  See
+``docs/serving.md`` for architecture and sizing guidance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.cache import ExtractionCache, clip_content_hash
+from repro.core.pipeline import ScenarioExtractor
+from repro.nn.module import Module
+from repro.obs import metrics
+from repro.obs import context as obs_context
+from repro.obs import events as obs_events
+from repro.obs.events import EventLog
+from repro.obs.quality import (
+    CanaryRefusedError,
+    QualityConfig,
+    QualityMonitor,
+)
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.serve.config import ServiceConfig
+from repro.serve.faults import FaultInjector
+from repro.serve.router import ShardRouter
+from repro.serve.service import (
+    STATUSES,
+    RequestFuture,
+    ServeResult,
+    _Request,
+)
+from repro.serve.worker import WorkerSpec, worker_main
+
+#: Health documents from both the single service and the pool carry
+#: this schema tag; consumers (``repro top``, CI smokes) key on it.
+HEALTH_SCHEMA = "repro.health/v1"
+
+#: Breaker states ordered by severity for the pool rollup.
+_BREAKER_SEVERITY = {"closed": 0, "half-open": 1, "open": 2}
+
+
+def _mp_context():
+    """Fork when the platform has it (cheap, inherits the built model);
+    spawn otherwise — the :class:`WorkerSpec` is fully picklable either
+    way, mirroring ``generate_dataset(workers=N)``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class ServicePool:
+    """N-replica sharded serving pool (see module docstring).
+
+    Parameters
+    ----------
+    extractor:
+        The primary extractor (or bare model, wrapped with
+        ``precision``).  Each worker gets a replica built from the same
+        model/codec/threshold/precision; the parent keeps a reference
+        copy for canary gating and client-side codec access.
+    config:
+        Per-worker :class:`ServiceConfig` (each replica runs its own
+        micro-batch queue with these knobs; ``max_queue`` bounds each
+        worker's outstanding requests at the router).
+    workers:
+        Pool width — the shard count.  Changing it changes every shard
+        assignment, so per-shard cache directories are keyed by it
+        (:func:`~repro.core.cache.shard_cache_dir`).
+    fault_injector:
+        Optional :class:`FaultInjector` template.  Its ``spec()`` is
+        shipped to every worker with a per-rank seed offset (the live
+        injector holds a thread lock and cannot cross processes).
+    cache:
+        ``ExtractionCache | str | PathLike | None``.  A directory (or a
+        disk-backed cache, whose directory is borrowed) becomes the
+        root under which each worker opens its own shard store; a
+        memory-only cache enables per-worker in-memory shards.
+    events / slo / quality:
+        Parent-side observability, same types as the single service.
+        Lifecycle events, SLO accounting and quality monitoring happen
+        once, in the parent, over re-stamped worker results; the canary
+        reload gate is applied once at pool level.
+    """
+
+    def __init__(self, extractor: Union[ScenarioExtractor, Module],
+                 config: Optional[ServiceConfig] = None,
+                 workers: int = 2,
+                 fault_injector: Optional[FaultInjector] = None,
+                 cache: Union[ExtractionCache, str, os.PathLike,
+                              None] = None,
+                 events: Optional[EventLog] = None,
+                 slo: Optional[Union[SLOConfig, SLOTracker]] = None,
+                 quality: Optional[Union[QualityConfig,
+                                         QualityMonitor]] = None,
+                 precision: str = "fp32",
+                 start_timeout_s: float = 60.0,
+                 drain_timeout_s: float = 30.0) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if isinstance(extractor, Module):
+            extractor = ScenarioExtractor(extractor, precision=precision)
+        self.config = config or ServiceConfig()
+        self.world_size = workers
+        self._reference = extractor
+        model_cfg = extractor.model.config
+        self.clip_shape = (model_cfg.frames, model_cfg.channels,
+                           model_cfg.height, model_cfg.width)
+        self.router = ShardRouter(workers)
+        self._fault_spec = (fault_injector.spec()
+                            if fault_injector is not None else None)
+        self._cache_dir: Optional[str] = None
+        self._cache_memory = False
+        if isinstance(cache, ExtractionCache):
+            if cache.cache_dir is not None:
+                self._cache_dir = cache.cache_dir
+            else:
+                self._cache_memory = True
+        elif cache is not None:
+            self._cache_dir = os.fspath(cache)
+        self.events = events
+        self.slo = (slo if isinstance(slo, SLOTracker)
+                    else SLOTracker(slo))
+        if isinstance(quality, QualityMonitor):
+            self.quality: Optional[QualityMonitor] = quality
+        elif quality is not None:
+            self.quality = QualityMonitor(extractor.codec, quality,
+                                          events=events)
+        else:
+            self.quality = None
+        self._start_timeout_s = start_timeout_s
+        self._drain_timeout_s = drain_timeout_s
+        self._prev_active_events: Optional[EventLog] = None
+
+        self._mp = _mp_context()
+        self._procs: List = []
+        self._request_qs: List = []
+        self._result_q = None
+        self._collector: Optional[threading.Thread] = None
+        self._collector_stop = threading.Event()
+
+        # All routing state lives under one condition variable: the
+        # collector notifies it on every completion, which is what the
+        # drain wait and the start/stop handshakes block on.
+        self._cond = threading.Condition()
+        self._running = False
+        self._version = 1
+        self._started_at = 0.0
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        self._outstanding: List[int] = [0] * workers
+        self._inflight: Dict[int, _Request] = {}
+        self._inflight_rank: Dict[int, int] = {}
+        self._draining_ranks: set = set()
+        self._pending: List[List[_Request]] = [[] for _ in range(workers)]
+        self._dead: Dict[int, str] = {}
+        self._up: set = set()
+        self._stopped_acks: set = set()
+        self._probes: Dict[int, dict] = {}
+        self._next_probe = 0
+
+        self._status_counts: Dict[str, int] = {s: 0 for s in STATUSES}
+        self._counts_lock = threading.Lock()
+        self._latency_hist = metrics.histogram("serve.latency_seconds")
+        self._reload_counter = metrics.counter("serve.reloads")
+        self._workers_gauge = metrics.gauge("serve.pool.workers")
+        self._outstanding_gauge = metrics.gauge("serve.pool.outstanding")
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ServicePool":
+        """Spawn the workers and wait until every replica is serving."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+            self._started_at = time.monotonic()
+            self._up.clear()
+            self._stopped_acks.clear()
+            self._dead.clear()
+        self._result_q = self._mp.Queue()
+        self._request_qs = [self._mp.Queue()
+                            for _ in range(self.world_size)]
+        # Fork *before* starting the collector thread (forking with a
+        # live thread that may hold locks can deadlock the child) and
+        # before installing the parent event log as process-wide active
+        # (workers must not inherit it — their cache events stay local).
+        self._procs = []
+        for rank in range(self.world_size):
+            spec = WorkerSpec(
+                rank=rank, world_size=self.world_size,
+                model=self._reference.model,
+                codec=self._reference.codec,
+                threshold=self._reference.threshold,
+                batch_size=self._reference.batch_size,
+                precision=getattr(self._reference, "precision", "fp32"),
+                calibration=getattr(self._reference, "calibration", None),
+                config=self.config,
+                fault_spec=self._fault_spec,
+                cache_dir=self._cache_dir,
+                cache_memory=self._cache_memory,
+            )
+            proc = self._mp.Process(
+                target=worker_main,
+                args=(spec, self._request_qs[rank], self._result_q),
+                name=f"repro-pool-worker-{rank}", daemon=True)
+            proc.start()
+            self._procs.append(proc)
+        if self.events is not None:
+            self._prev_active_events = obs_events.set_active(self.events)
+        self._collector_stop.clear()
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           name="repro-pool-collector",
+                                           daemon=True)
+        self._collector.start()
+        deadline = time.monotonic() + self._start_timeout_s
+        with self._cond:
+            while len(self._up) < self.world_size:
+                if self._dead:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(min(remaining, 0.2))
+            up = len(self._up)
+            dead = dict(self._dead)
+        if up < self.world_size:
+            self.stop(drain=False, timeout=2.0)
+            detail = (f"worker errors: {dead}" if dead
+                      else f"only {up}/{self.world_size} workers came up "
+                           f"within {self._start_timeout_s:g}s")
+            raise RuntimeError(f"pool failed to start ({detail})")
+        self._workers_gauge.set(float(self.world_size))
+        self._emit("pool_start", workers=self.world_size)
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop every worker and the collector.
+
+        ``drain=True`` lets each worker finish everything already routed
+        to it first; otherwise in-flight requests resolve as
+        ``"error"`` immediately and the workers are terminated.
+        """
+        with self._cond:
+            if not self._running:
+                return
+            self._running = False
+            buffered = [r for pending in self._pending for r in pending]
+            for pending in self._pending:
+                pending.clear()
+            if not drain:
+                orphans = list(self._inflight.values())
+                self._inflight.clear()
+                self._inflight_rank.clear()
+                self._outstanding = [0] * self.world_size
+            else:
+                orphans = []
+        for request in buffered + orphans:
+            self._finish(request, self._make_result(
+                request, "error", error="service stopped"))
+        for rank, request_q in enumerate(self._request_qs):
+            if rank not in self._dead:
+                try:
+                    request_q.put(("stop",))
+                except Exception:  # queue torn down with a dead worker
+                    pass
+        join_deadline = time.monotonic() + (timeout if drain else 1.0)
+        for proc in self._procs:
+            proc.join(max(0.0, join_deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        # Workers are gone: anything still unresolved never will be.
+        with self._cond:
+            orphans = list(self._inflight.values())
+            self._inflight.clear()
+            self._inflight_rank.clear()
+            self._outstanding = [0] * self.world_size
+        for request in orphans:
+            self._finish(request, self._make_result(
+                request, "error", error="service stopped"))
+        self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join(5.0)
+            self._collector = None
+        for q in self._request_qs + ([self._result_q]
+                                     if self._result_q else []):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        self._request_qs = []
+        self._result_q = None
+        self._procs = []
+        self._workers_gauge.set(0.0)
+        self._emit("pool_stop")
+        if self.events is not None:
+            obs_events.set_active(self._prev_active_events)
+            self._prev_active_events = None
+
+    def __enter__(self) -> "ServicePool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request intake ------------------------------------------------
+    def submit(self, clip: np.ndarray,
+               timeout: Optional[float] = None) -> RequestFuture:
+        """Route one clip ``(T, C, H, W)`` to its shard's worker.
+
+        Drop-in for :meth:`ExtractionService.submit`: shape mismatches
+        raise ``ValueError``, a full per-worker queue resolves the
+        future as ``"shed"``, and every admitted request resolves to
+        exactly one :class:`ServeResult`.
+        """
+        clip = np.asarray(clip)
+        if clip.shape != self.clip_shape:
+            raise ValueError(
+                f"expected clip of shape {self.clip_shape}, "
+                f"got {clip.shape}"
+            )
+        if timeout is None:
+            timeout = self.config.default_timeout_s
+        now = time.monotonic()
+        clip_hash = clip_content_hash(clip)
+        rank = self.router.shard(clip_hash)
+        request = _Request(self._allocate_id(), clip, now, now + timeout,
+                           clip_hash=clip_hash)
+        future = RequestFuture(self, request)
+        with obs_context.bind(request.request_id, request.trace_id):
+            with self._cond:
+                if not self._running:
+                    raise RuntimeError("service is not running")
+                depth = sum(self._outstanding)
+                self._emit("enqueue", request, queue_depth=depth,
+                           worker=rank)
+                if rank in self._dead:
+                    deferred = ("error",
+                                f"worker {rank} is down "
+                                f"({self._dead[rank]})")
+                elif rank in self._draining_ranks:
+                    # Reload in progress on this shard: hold the
+                    # request parent-side; re-admission dispatches it.
+                    self._pending[rank].append(request)
+                    return future
+                elif self._outstanding[rank] >= self.config.max_queue:
+                    self._emit("shed", request, worker=rank,
+                               queue_depth=self._outstanding[rank])
+                    deferred = ("shed",
+                                f"queue full ({self.config.max_queue})")
+                else:
+                    self._dispatch_locked(request, rank)
+                    return future
+        status, error = deferred
+        self._finish(request, self._make_result(request, status,
+                                                error=error))
+        return future
+
+    def extract(self, clip: np.ndarray,
+                timeout: Optional[float] = None) -> ServeResult:
+        """Blocking submit-and-wait convenience."""
+        return self.submit(clip, timeout=timeout).result()
+
+    def _dispatch_locked(self, request: _Request, rank: int) -> None:
+        """Hand ``request`` to its worker; caller holds ``_cond``."""
+        self._outstanding[rank] += 1
+        self._inflight[request.request_id] = request
+        self._inflight_rank[request.request_id] = rank
+        self._outstanding_gauge.set(float(sum(self._outstanding)))
+        self._emit("route", request, worker=rank,
+                   outstanding=self._outstanding[rank])
+        remaining = max(0.0, request.deadline - time.monotonic())
+        self._request_qs[rank].put(
+            ("extract", request.request_id, request.clip, remaining))
+
+    # -- hot reload ----------------------------------------------------
+    def reload(self, source: Union[str, Module],
+               force: bool = False) -> int:
+        """Replica-aware rolling hot-reload; returns the pool version.
+
+        The canary gate runs **once**, in the parent, against the pool's
+        reference extractor — then each rank is drained (routing to its
+        shard pauses; new arrivals buffer), swapped, and re-admitted in
+        turn.  A worker batch therefore never mixes model versions, and
+        the pool serves throughout (only one replica is out at a time).
+        ``force=True`` skips the canary gate, exactly as on the single
+        service.
+        """
+        if isinstance(source, Module):
+            model = source
+        else:
+            from repro.models.factory import load_model
+
+            model = load_model(source)
+        cfg = model.config
+        new_shape = (cfg.frames, cfg.channels, cfg.height, cfg.width)
+        if new_shape != self.clip_shape:
+            raise ValueError(
+                f"reload would change clip shape {self.clip_shape} -> "
+                f"{new_shape}; start a new pool instead"
+            )
+        with self._cond:
+            if not self._running:
+                raise RuntimeError("service is not running")
+            serving_version = self._version
+        if (not force and self.quality is not None
+                and self.quality.canary_ready):
+            verdict = self.quality.canary(
+                self._reference,
+                self._reference.clone_with_model(model),
+                serving_version=serving_version)
+            if not verdict["accepted"]:
+                metrics.counter("serve.reloads_refused").inc()
+                raise CanaryRefusedError(verdict)
+        for rank in range(self.world_size):
+            if rank in self._dead:
+                continue
+            self._reload_rank(rank, model)
+        with self._cond:
+            self._version += 1
+            version = self._version
+        self._reference = self._reference.clone_with_model(model)
+        self._reload_counter.inc()
+        self._emit("reload", version=version)
+        if self.quality is not None:
+            self.quality.on_reload(version)
+        return version
+
+    def _reload_rank(self, rank: int, model: Module) -> None:
+        """Drain one rank, swap its checkpoint, re-admit it."""
+        with self._cond:
+            self._draining_ranks.add(rank)
+            outstanding = self._outstanding[rank]
+        self._emit("worker_drain", worker=rank, outstanding=outstanding)
+        deadline = time.monotonic() + self._drain_timeout_s
+        try:
+            with self._cond:
+                while (self._outstanding[rank] > 0
+                       and rank not in self._dead):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise RuntimeError(
+                            f"worker {rank} failed to drain within "
+                            f"{self._drain_timeout_s:g}s")
+                    self._cond.wait(min(remaining, 0.2))
+            if rank in self._dead:
+                return
+            # Inner reload is force=True: the canary verdict was already
+            # rendered once, at pool level.
+            reply = self._probe(rank, ("reload", None, model, True),
+                                kinds=("reload_ok", "reload_err"),
+                                timeout=self._drain_timeout_s)
+            if reply is None:
+                raise RuntimeError(f"worker {rank} reload timed out")
+            kind, payload = reply
+            if kind == "reload_err":
+                raise RuntimeError(
+                    f"worker {rank} reload failed: {payload}")
+            self._emit("worker_reload", worker=rank, version=payload)
+        finally:
+            self._readmit(rank)
+
+    def _readmit(self, rank: int) -> None:
+        """Resume routing to ``rank`` and flush its buffered requests."""
+        with self._cond:
+            self._draining_ranks.discard(rank)
+            buffered = self._pending[rank]
+            self._pending[rank] = []
+            now = time.monotonic()
+            sheds: List[_Request] = []
+            expired: List[_Request] = []
+            for request in buffered:
+                if now >= request.deadline:
+                    expired.append(request)
+                elif (rank in self._dead or self._outstanding[rank]
+                        >= self.config.max_queue):
+                    sheds.append(request)
+                else:
+                    self._dispatch_locked(request, rank)
+        for request in expired:
+            self._resolve_timeout(request)
+        for request in sheds:
+            self._emit("shed", request, worker=rank)
+            self._finish(request, self._make_result(
+                request, "shed",
+                error=f"queue full ({self.config.max_queue})"))
+
+    @property
+    def model_version(self) -> int:
+        with self._cond:
+            return self._version
+
+    @property
+    def _primary(self) -> ScenarioExtractor:
+        """Reference replica (client-side codec / canary baseline)."""
+        return self._reference
+
+    # -- probes --------------------------------------------------------
+    def ready(self) -> bool:
+        """Readiness: running, every worker alive, router not saturated."""
+        with self._cond:
+            return (self._running and not self._dead
+                    and all(depth < self.config.max_queue
+                            for depth in self._outstanding))
+
+    def health(self, timeout: float = 5.0) -> Dict[str, object]:
+        """Versioned ``repro.health/v1`` pool rollup.
+
+        ``workers`` maps rank → that worker's own full service health
+        document (itself ``repro.health/v1`` with ``role: "service"``);
+        the top level aggregates breaker state (worst of the pool),
+        per-status request counts (parent accounting), summed cache
+        stats and the parent-side SLO/quality/events reports.  A rank
+        that died or failed to answer reports ``status:
+        "unreachable"``.
+        """
+        with self._cond:
+            running = self._running
+            outstanding = list(self._outstanding)
+            dead = dict(self._dead)
+        workers: Dict[str, dict] = {}
+        if running:
+            probes = []
+            for rank in range(self.world_size):
+                if rank in dead:
+                    continue
+                probes.append((rank, self._probe_async(
+                    rank, ("health", None), kinds=("health",))))
+            deadline = time.monotonic() + timeout
+            for rank, probe_id in probes:
+                reply = self._probe_wait(
+                    probe_id, max(0.0, deadline - time.monotonic()))
+                if reply is None:
+                    workers[str(rank)] = {"schema": HEALTH_SCHEMA,
+                                          "role": "service",
+                                          "rank": rank,
+                                          "status": "unreachable"}
+                else:
+                    workers[str(rank)] = reply[1]
+        for rank, message in dead.items():
+            workers[str(rank)] = {"schema": HEALTH_SCHEMA,
+                                  "role": "service", "rank": rank,
+                                  "status": "unreachable",
+                                  "error": message}
+        breaker = "closed"
+        for doc in workers.values():
+            state = doc.get("breaker", "closed")
+            if (_BREAKER_SEVERITY.get(state, 0)
+                    > _BREAKER_SEVERITY.get(breaker, 0)):
+                breaker = state
+        unreachable = sum(1 for doc in workers.values()
+                          if doc.get("status") == "unreachable")
+        if not running:
+            status = "stopped"
+        elif unreachable or breaker != "closed" or any(
+                doc.get("status") not in ("ok",)
+                for doc in workers.values()):
+            status = "degraded"
+        else:
+            status = "ok"
+        with self._counts_lock:
+            counts = dict(self._status_counts)
+        report: Dict[str, object] = {
+            "schema": HEALTH_SCHEMA,
+            "role": "pool",
+            "status": status,
+            "ready": self.ready(),
+            "world_size": self.world_size,
+            "workers": workers,
+            "workers_up": self.world_size - len(dead),
+            "queue_depth": sum(outstanding),
+            "inflight": sum(outstanding),
+            "outstanding": {str(i): d for i, d in enumerate(outstanding)},
+            "breaker": breaker,
+            "model_version": self.model_version,
+            "precision": getattr(self._reference, "precision", "fp32"),
+            "uptime_s": (time.monotonic() - self._started_at
+                         if running else 0.0),
+            "requests": counts,
+        }
+        cache_docs = [doc["cache"] for doc in workers.values()
+                      if isinstance(doc.get("cache"), dict)]
+        if cache_docs:
+            totals: Dict[str, float] = {}
+            for doc in cache_docs:
+                for key, value in doc.items():
+                    if isinstance(value, (int, float)):
+                        totals[key] = totals.get(key, 0) + value
+            lookups = totals.get("hits", 0) + totals.get("misses", 0)
+            totals["hit_rate"] = (totals.get("hits", 0) / lookups
+                                  if lookups else 0.0)
+            report["cache"] = totals
+        report["slo"] = self.slo.report()
+        if self.quality is not None:
+            report["quality"] = self.quality.report()
+        if self.events is not None:
+            report["events"] = self.events.stats()
+        return report
+
+    def status_counts(self) -> Dict[str, int]:
+        """Requests resolved so far, keyed by status (parent view)."""
+        with self._counts_lock:
+            return dict(self._status_counts)
+
+    # -- worker messaging ----------------------------------------------
+    def _probe_async(self, rank: int, message: tuple,
+                     kinds: tuple) -> int:
+        with self._cond:
+            self._next_probe += 1
+            probe_id = self._next_probe
+            self._probes[probe_id] = {"event": threading.Event(),
+                                      "kinds": kinds, "reply": None}
+        payload = (message[0], probe_id) + message[2:]
+        self._request_qs[rank].put(payload)
+        return probe_id
+
+    def _probe_wait(self, probe_id: int,
+                    timeout: float) -> Optional[tuple]:
+        entry = self._probes.get(probe_id)
+        if entry is None:
+            return None
+        entry["event"].wait(timeout)
+        with self._cond:
+            self._probes.pop(probe_id, None)
+        return entry["reply"]
+
+    def _probe(self, rank: int, message: tuple, kinds: tuple,
+               timeout: float) -> Optional[tuple]:
+        return self._probe_wait(
+            self._probe_async(rank, message, kinds), timeout)
+
+    # -- collector -----------------------------------------------------
+    def _collect_loop(self) -> None:
+        """Drain the shared result queue; single consumer, parent-side."""
+        while True:
+            try:
+                message = self._result_q.get(timeout=0.1)
+            except (queue_mod.Empty, OSError, ValueError, EOFError):
+                if self._collector_stop.is_set():
+                    return
+                self._check_workers()
+                continue
+            kind = message[0]
+            if kind == "result":
+                _, rank, request_id, result = message
+                self._on_result(rank, request_id, result)
+            elif kind in ("health", "reload_ok", "reload_err"):
+                _, rank, probe_id, payload = message
+                with self._cond:
+                    entry = self._probes.get(probe_id)
+                    if entry is not None and kind in entry["kinds"]:
+                        entry["reply"] = (kind, payload)
+                        entry["event"].set()
+            elif kind == "up":
+                with self._cond:
+                    self._up.add(message[1])
+                    self._cond.notify_all()
+            elif kind == "stopped":
+                with self._cond:
+                    self._stopped_acks.add(message[1])
+                    self._cond.notify_all()
+            elif kind == "worker_error":
+                self._mark_dead(message[1], message[2])
+
+    def _on_result(self, rank: int, request_id: int,
+                   result: ServeResult) -> None:
+        with self._cond:
+            request = self._inflight.pop(request_id, None)
+            self._inflight_rank.pop(request_id, None)
+            if self._outstanding[rank] > 0:
+                self._outstanding[rank] -= 1
+            self._outstanding_gauge.set(float(sum(self._outstanding)))
+            self._cond.notify_all()
+        if request is None:  # resolved parent-side already (stop path)
+            return
+        # Re-stamp with the parent's identifiers and end-to-end latency;
+        # the worker's status / retries / batch / model_version stand.
+        stamped = dataclasses.replace(
+            result,
+            request_id=request.request_id,
+            trace_id=request.trace_id,
+            latency_s=time.monotonic() - request.enqueued_at,
+        )
+        self._finish(request, stamped, worker=rank)
+
+    def _check_workers(self) -> None:
+        with self._cond:
+            running = self._running
+        if not running:
+            return
+        for rank, proc in enumerate(self._procs):
+            if proc.exitcode is not None and rank not in self._dead:
+                self._mark_dead(
+                    rank, f"worker exited with code {proc.exitcode}")
+
+    def _mark_dead(self, rank: int, message: str) -> None:
+        """Fail-static: resolve the rank's in-flight work as errors."""
+        with self._cond:
+            if rank in self._dead:
+                return
+            self._dead[rank] = message
+            orphans = [self._inflight.pop(rid)
+                       for rid, r in list(self._inflight_rank.items())
+                       if r == rank and rid in self._inflight]
+            self._inflight_rank = {rid: r for rid, r
+                                   in self._inflight_rank.items()
+                                   if r != rank}
+            buffered = self._pending[rank]
+            self._pending[rank] = []
+            self._outstanding[rank] = 0
+            self._cond.notify_all()
+        self._emit("worker_dead", worker=rank, error=message)
+        for request in orphans + buffered:
+            self._finish(request, self._make_result(
+                request, "error", error=f"worker {rank} died ({message})"))
+
+    # -- accounting ----------------------------------------------------
+    def _emit(self, event: str, request: Optional[_Request] = None,
+              **fields) -> None:
+        if self.events is None:
+            return
+        if request is not None:
+            self.events.emit(event, request_id=request.request_id,
+                             trace_id=request.trace_id, **fields)
+        else:
+            self.events.emit(event, **fields)
+
+    def _allocate_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _make_result(self, request: _Request, status: str,
+                     error: str = "") -> ServeResult:
+        return ServeResult(
+            request_id=request.request_id,
+            status=status,
+            latency_s=time.monotonic() - request.enqueued_at,
+            model_version=self.model_version,
+            error=error,
+            trace_id=request.trace_id,
+        )
+
+    def _finish(self, request: _Request, result: ServeResult,
+                worker: Optional[int] = None) -> bool:
+        """Resolve + account once; mirrors the single service."""
+        if not request.try_resolve(result):
+            return False
+        metrics.counter("serve.requests", status=result.status).inc()
+        self._latency_hist.observe(result.latency_s)
+        with self._counts_lock:
+            self._status_counts[result.status] += 1
+        self.slo.record_request(result.ok, result.latency_s)
+        if self._cache_dir is not None or self._cache_memory:
+            if result.status == "ok":
+                self.slo.record_cache(result.cached)
+        extraction = result.result
+        mean_confidence = None
+        if extraction is not None and extraction.confidences:
+            mean_confidence = (sum(extraction.confidences.values())
+                               / len(extraction.confidences))
+            self.slo.record_confidence(mean_confidence)
+        if self.quality is not None and extraction is not None:
+            self.quality.observe(result)
+            if result.ok and not result.cached:
+                self.quality.sample_clip(request.clip)
+        event_fields = dict(status=result.status,
+                            latency_s=result.latency_s,
+                            retries=result.retries,
+                            batch_size=result.batch_size,
+                            cached=result.cached,
+                            model_version=result.model_version,
+                            error=result.error)
+        if worker is not None:
+            event_fields["worker"] = worker
+        if mean_confidence is not None:
+            event_fields["mean_confidence"] = mean_confidence
+        self._emit("result", request, **event_fields)
+        return True
+
+    def _resolve_timeout(self, request: _Request) -> None:
+        self._finish(request, self._make_result(
+            request, "timeout",
+            error="deadline expired before completion"))
+
+
+__all__ = ["HEALTH_SCHEMA", "ServicePool"]

@@ -616,7 +616,13 @@ class ExtractionService:
                     and len(self._queue) < self.config.max_queue)
 
     def health(self) -> Dict[str, object]:
-        """Liveness/health snapshot (JSON-serialisable)."""
+        """Versioned ``repro.health/v1`` liveness/health snapshot.
+
+        JSON-serialisable with ``role: "service"``; the pool rollup
+        (:meth:`repro.serve.pool.ServicePool.health`) embeds one of
+        these per worker under the same schema tag.  See
+        ``docs/serving.md`` for the documented field set.
+        """
         with self._queue_cond:
             running = self._running
             depth = len(self._queue)
@@ -630,6 +636,8 @@ class ExtractionService:
         with self._counts_lock:
             counts = dict(self._status_counts)
         report = {
+            "schema": "repro.health/v1",
+            "role": "service",
             "status": status,
             "ready": self.ready(),
             "queue_depth": depth,

@@ -1,0 +1,180 @@
+"""Process entrypoint for one serving-pool worker.
+
+Each worker of a :class:`~repro.serve.pool.ServicePool` is its own OS
+process running a full single-replica
+:class:`~repro.serve.service.ExtractionService` — its own model
+replica, micro-batch queue, retry/backoff machinery, circuit breaker,
+fallback model and (when caching is on) its own
+:class:`~repro.core.cache.ExtractionCache` shard.  The pool's router
+guarantees a clip only ever reaches the worker that owns its content
+hash, so the shard cache needs no cross-process coordination.
+
+The rank/world-size orchestration mirrors the DDP-trainer idiom (and
+the bit-identical process plan of ``generate_dataset(workers=N)``):
+every per-rank input is computed up front in a plain picklable
+:class:`WorkerSpec`, and the worker's behaviour is a pure function of
+that spec plus the requests routed to it.
+
+Protocol (tuples over multiprocessing queues)
+---------------------------------------------
+Parent → worker on the per-rank request queue::
+
+    ("extract", request_id, clip, timeout_s)
+    ("reload",  probe_id, model, force)
+    ("health",  probe_id)
+    ("stop",)
+
+Worker → parent on the shared result queue::
+
+    ("up",         rank)                      # service started
+    ("result",     rank, request_id, ServeResult)
+    ("reload_ok",  rank, probe_id, version)
+    ("reload_err", rank, probe_id, message)
+    ("health",     rank, probe_id, health_doc)
+    ("stopped",    rank)
+    ("worker_error", rank, message)           # fatal; process exits
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.serve.config import ServiceConfig
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to build its replica — plain data.
+
+    ``model`` / ``codec`` / ``calibration`` ride through pickle (they
+    are pure numpy / pure python); thread-locked objects like a live
+    :class:`~repro.serve.faults.FaultInjector` must be passed as their
+    :meth:`~repro.serve.faults.FaultInjector.spec` dict instead.
+    """
+
+    rank: int
+    world_size: int
+    model: object
+    codec: object = None
+    threshold: float = 0.5
+    batch_size: int = 16
+    precision: str = "fp32"
+    calibration: Optional[np.ndarray] = None
+    config: ServiceConfig = field(default_factory=ServiceConfig)
+    fault_spec: Optional[dict] = None
+    cache_dir: Optional[str] = None
+    cache_memory: bool = False
+
+
+def _build_service(spec: WorkerSpec):
+    """Construct the inner single-replica service for one rank."""
+    from repro.core.cache import ExtractionCache, shard_cache_dir
+    from repro.core.pipeline import ScenarioExtractor
+    from repro.serve.faults import FaultInjector
+    from repro.serve.service import ExtractionService
+
+    extractor = ScenarioExtractor(
+        spec.model, codec=spec.codec, threshold=spec.threshold,
+        batch_size=spec.batch_size, precision=spec.precision,
+        calibration=spec.calibration)
+    cache = None
+    if spec.cache_dir is not None:
+        cache = ExtractionCache(shard_cache_dir(
+            spec.cache_dir, spec.rank, spec.world_size))
+    elif spec.cache_memory:
+        cache = ExtractionCache(None)
+    injector = None
+    if spec.fault_spec is not None:
+        # Per-rank seed offset: ranks draw independent fault sequences
+        # while the whole pool stays reproducible from one seed.
+        fault_spec = dict(spec.fault_spec)
+        fault_spec["seed"] = int(fault_spec.get("seed", 0)) + spec.rank
+        injector = FaultInjector.from_spec(fault_spec)
+    return ExtractionService(extractor, spec.config,
+                             fault_injector=injector, cache=cache)
+
+
+def worker_main(spec: WorkerSpec, request_q, result_q) -> None:
+    """Run one pool worker until a ``("stop",)`` message arrives."""
+    rank = spec.rank
+    try:
+        service = _build_service(spec).start()
+    except Exception as exc:  # construction failed: report and die
+        result_q.put(("worker_error", rank,
+                      f"{type(exc).__name__}: {exc}"))
+        return
+
+    # Futures resolve on the inner service's worker thread; a dedicated
+    # forwarder waits on them in submission order and posts results, so
+    # the intake loop below never blocks on extraction and control
+    # messages (health / reload / stop) are handled promptly.
+    pending: "queue.Queue" = queue.Queue()
+
+    def _forward() -> None:
+        while True:
+            item = pending.get()
+            if item is None:
+                return
+            request_id, future = item
+            try:
+                result = future.result()
+            except Exception as exc:  # defensive: never drop a request
+                from repro.serve.service import ServeResult
+
+                result = ServeResult(request_id=request_id,
+                                     status="error",
+                                     error=f"{type(exc).__name__}: {exc}")
+            result_q.put(("result", rank, request_id, result))
+
+    forwarder = threading.Thread(target=_forward,
+                                 name=f"repro-pool-forward-{rank}",
+                                 daemon=True)
+    forwarder.start()
+    result_q.put(("up", rank))
+
+    try:
+        while True:
+            message = request_q.get()
+            kind = message[0]
+            if kind == "extract":
+                _, request_id, clip, timeout_s = message
+                try:
+                    future = service.submit(clip, timeout=timeout_s)
+                except Exception as exc:
+                    from repro.serve.service import ServeResult
+
+                    result_q.put(("result", rank, request_id, ServeResult(
+                        request_id=request_id, status="error",
+                        error=f"{type(exc).__name__}: {exc}")))
+                    continue
+                pending.put((request_id, future))
+            elif kind == "reload":
+                _, probe_id, model, force = message
+                try:
+                    version = service.reload(model, force=force)
+                    result_q.put(("reload_ok", rank, probe_id, version))
+                except Exception as exc:
+                    result_q.put(("reload_err", rank, probe_id,
+                                  f"{type(exc).__name__}: {exc}"))
+            elif kind == "health":
+                _, probe_id = message
+                doc = service.health()
+                doc["rank"] = rank
+                result_q.put(("health", rank, probe_id, doc))
+            elif kind == "stop":
+                break
+    except (KeyboardInterrupt, EOFError):  # pragma: no cover
+        pass
+    finally:
+        pending.put(None)
+        forwarder.join(timeout=30.0)
+        service.stop(drain=True)
+        result_q.put(("stopped", rank))
+
+
+__all__ = ["WorkerSpec", "worker_main"]

@@ -216,3 +216,127 @@ class TestCheckpointPathBugfix:
         assert read_checkpoint_meta(bare)["model"] == "frame-mlp"
         loaded = load_model(bare)
         assert type(loaded).__name__ == "FrameDiffMLP"
+
+
+class TestPolymorphicStoreParams:
+    """One ``cache=`` / ``events=`` parameter accepting instance or
+    path, replacing the historical either-or pairs (deprecated but
+    still working)."""
+
+    def test_mine_cache_accepts_directory_path(self, extractor, clips,
+                                               tmp_path):
+        cache_root = tmp_path / "mine-cache"
+        api.mine(extractor, clips, cache=cache_root, ego_action="stop")
+        hits = api.mine(extractor, clips, cache=str(cache_root),
+                        ego_action="stop")
+        assert hits  # second pass served from the on-disk store
+        assert (cache_root / "extractions.jsonl").exists()
+
+    def test_mine_cache_accepts_instance(self, extractor, clips):
+        from repro import ExtractionCache
+
+        cache = ExtractionCache(None)
+        api.mine(extractor, clips, cache=cache, ego_action="stop")
+        stats = cache.stats()
+        assert stats["entries"] == len(clips)
+        api.mine(extractor, clips, cache=cache, ego_action="stop")
+        assert cache.stats()["hits"] >= len(clips)
+
+    def test_extract_video_cache_path(self, extractor, clips, tmp_path):
+        video = np.concatenate(list(clips[:3]))
+        results = api.extract_video(extractor, video, window=4, stride=4,
+                                    cache=tmp_path / "vid-cache")
+        assert len(results) == 3
+        assert (tmp_path / "vid-cache" / "extractions.jsonl").exists()
+
+    def test_legacy_cache_dir_warns_but_works(self, extractor, clips,
+                                              tmp_path):
+        with pytest.warns(DeprecationWarning, match="cache_dir"):
+            api.mine(extractor, clips, cache_dir=str(tmp_path / "legacy"),
+                     ego_action="stop")
+        assert (tmp_path / "legacy" / "extractions.jsonl").exists()
+
+    def test_cache_and_cache_dir_rejected(self, extractor, clips,
+                                          tmp_path):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                api.retrieve(extractor, clips,
+                             extractor.extract(clips[0]).description,
+                             cache=str(tmp_path / "a"),
+                             cache_dir=str(tmp_path / "b"))
+
+    def test_serve_events_accepts_path(self, extractor, clips,
+                                       tmp_path):
+        events_dir = tmp_path / "events"
+        service = api.serve(extractor, events=events_dir)
+        try:
+            assert service.extract(clips[0], timeout=5.0).status == "ok"
+        finally:
+            service.stop()
+        assert (events_dir / "events.jsonl").exists()
+
+    def test_serve_legacy_events_dir_warns(self, extractor, tmp_path):
+        with pytest.warns(DeprecationWarning, match="events_dir"):
+            service = api.serve(extractor,
+                                events_dir=str(tmp_path / "ev"))
+        service.stop()
+
+    def test_serve_config_accepts_mapping(self, extractor):
+        service = api.serve(extractor, {"max_batch": 4, "max_queue": 8})
+        try:
+            assert service.config.max_batch == 4
+            assert service.config.max_queue == 8
+        finally:
+            service.stop()
+
+
+class TestServeRedesign:
+    def test_precision_conflict_with_prebuilt_extractor(self,
+                                                        extractor):
+        # Regression: this used to be silently ignored — the service
+        # served the extractor's own precision regardless.
+        with pytest.raises(ValueError, match="precision"):
+            api.serve(extractor, precision="fp16")
+
+    def test_matching_precision_accepted(self, extractor, clips):
+        service = api.serve(extractor, precision="fp32")
+        try:
+            assert service.extract(clips[0], timeout=5.0).status == "ok"
+        finally:
+            service.stop()
+
+    def test_precision_applied_when_building(self, clips, tmp_path):
+        # fp16 rides the quantized engine, which serves transformers
+        path = str(tmp_path / "vt.npz")
+        build_model("vt-divided", CFG).save(path)
+        service = api.serve(path, precision="fp16")
+        try:
+            assert service._primary.precision == "fp16"
+            assert service.extract(clips[0], timeout=5.0).status == "ok"
+        finally:
+            service.stop()
+
+    def test_workers_validated(self, extractor):
+        with pytest.raises(ValueError, match="workers"):
+            api.serve(extractor, workers=0)
+
+    def test_workers_returns_started_pool(self, extractor, clips):
+        from repro import ServicePool
+
+        pool = api.serve(extractor, workers=2, max_batch=4)
+        try:
+            assert isinstance(pool, ServicePool)
+            assert pool.ready()
+            result = pool.extract(clips[0], timeout=10.0)
+            assert result.status == "ok"
+            health = pool.health()
+            assert health["schema"] == "repro.health/v1"
+            assert health["role"] == "pool"
+            assert health["workers_up"] == 2
+        finally:
+            pool.stop()
+
+    def test_pool_reexported_at_top_level(self):
+        from repro.serve import ServicePool
+
+        assert repro.ServicePool is ServicePool

@@ -1,0 +1,502 @@
+"""Tests for the multi-worker sharded serving pool (``repro.serve.pool``).
+
+The pool is a drop-in for :class:`ExtractionService`, so the behavioural
+assertions here mirror ``tests/test_serve.py`` — bit-identical results,
+explicit shed/timeout statuses, atomic hot reload, full accounting —
+plus the pool-only guarantees: deterministic content-hash sharding,
+shard-local cache coherence with zero cross-worker writes, and rolling
+reloads that never mix model versions.
+"""
+
+import json
+import os
+import threading
+import time
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import ScenarioExtractor
+from repro.core.cache import (
+    CACHE_FILE,
+    clip_content_hash,
+    shard_cache_dir,
+)
+from repro.models import ModelConfig, build_model
+from repro.obs import metrics
+from repro.obs.events import EventLog
+from repro.serve import (
+    HEALTH_SCHEMA,
+    FaultInjector,
+    ServiceClient,
+    ServiceConfig,
+    ServicePool,
+    ShardRouter,
+    shard_of,
+)
+
+CFG = ModelConfig(frames=4, dim=16, depth=1, num_heads=2)
+
+
+def _result_key(extraction):
+    """Comparable identity of an ExtractionResult (bit-level)."""
+    return (extraction.sentence, extraction.description,
+            tuple(sorted(extraction.confidences.items())),
+            extraction.frame_range)
+
+
+@pytest.fixture(scope="module")
+def model():
+    # vt-divided at this config is bitwise batch-size invariant (see
+    # test_serve), so pooled results compare bit-for-bit against direct
+    # extract_batch no matter which worker batched them how.
+    return build_model("vt-divided", CFG)
+
+
+@pytest.fixture(scope="module")
+def extractor(model):
+    return ScenarioExtractor(model)
+
+
+@pytest.fixture(scope="module")
+def clips():
+    rng = np.random.default_rng(0)
+    return rng.random((24, 4, 3, 32, 32)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def direct(extractor, clips):
+    return extractor.extract_batch(clips)
+
+
+class TestRouterProperties:
+    """The ISSUE-mandated property: shard assignment is a pure function
+    of clip content hash — same clip, same worker, across instances and
+    across restarts."""
+
+    def test_shard_is_pure_function_of_hash(self, clips):
+        router_a = ShardRouter(3)
+        router_b = ShardRouter(3)  # fresh instance = simulated restart
+        for clip in clips:
+            digest = clip_content_hash(clip)
+            ranks = {router_a.shard(digest), router_b.shard(digest),
+                     shard_of(digest, 3), router_a.shard_clip(clip),
+                     shard_of(clip_content_hash(clip.copy()), 3)}
+            assert len(ranks) == 1
+
+    def test_shard_values_pinned(self):
+        # Frozen assignments: these may never change, or every existing
+        # per-shard cache directory in the wild silently goes stale.
+        assert shard_of("0" * 24, 3) == 0
+        assert shard_of("f" * 24, 3) == int("f" * 24, 16) % 3
+        assert shard_of("deadbeefdeadbeefdeadbeef", 4) \
+            == int("deadbeefdeadbeefdeadbeef", 16) % 4
+
+    def test_every_digest_bit_matters(self):
+        # Folding only a prefix would let distinct hashes collide on
+        # rank systematically; flipping the last hex digit must be able
+        # to move the shard.
+        base = "a" * 24
+        shards = {shard_of(base[:-1] + c, 16) for c in "0123456789abcdef"}
+        assert len(shards) == 16
+
+    def test_shards_cover_all_ranks(self, clips):
+        ranks = {ShardRouter(2).shard_clip(clip) for clip in clips}
+        assert ranks == {0, 1}
+
+    def test_world_size_validated(self):
+        with pytest.raises(ValueError, match="world_size"):
+            shard_of("0" * 24, 0)
+        with pytest.raises(ValueError, match="world_size"):
+            ShardRouter(-1)
+
+
+class TestShardCacheDir:
+    def test_layout_carries_rank_and_world(self, tmp_path):
+        path = shard_cache_dir(tmp_path, 1, 3)
+        assert path.endswith(os.path.join(str(tmp_path),
+                                          "shard-01-of-03"))
+
+    def test_resharding_never_reuses_directories(self, tmp_path):
+        # A 3-wide pool must not read a 2-wide pool's shards.
+        assert shard_cache_dir(tmp_path, 0, 2) \
+            != shard_cache_dir(tmp_path, 0, 3)
+
+    def test_rank_outside_world_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="rank"):
+            shard_cache_dir(tmp_path, 3, 3)
+
+
+class TestPoolDropIn:
+    """The single-service behavioural contract, verbatim, on the pool."""
+
+    def test_pooled_results_bit_identical_to_direct(self, extractor,
+                                                    clips, direct):
+        config = ServiceConfig(max_batch=8, max_wait_s=0.02)
+        with ServicePool(extractor, config, workers=2) as pool:
+            results = ServiceClient(pool).extract_many(
+                list(clips), concurrency=len(clips))
+        assert [r.status for r in results] == ["ok"] * len(clips)
+        for served, reference in zip(results, direct):
+            assert _result_key(served.result) == _result_key(reference)
+
+    def test_wrong_clip_shape_rejected_at_submit(self, extractor):
+        with ServicePool(extractor, workers=2) as pool:
+            with pytest.raises(ValueError, match="shape"):
+                pool.submit(np.zeros((2, 3, 32, 32), dtype=np.float32))
+
+    def test_submit_after_stop_raises(self, extractor, clips):
+        pool = ServicePool(extractor, workers=2).start()
+        pool.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            pool.submit(clips[0])
+
+    def test_timeout_resolves_explicitly(self, extractor, clips):
+        injector = FaultInjector(latency_s=0.3, latency_rate=1.0)
+        pool = ServicePool(extractor, ServiceConfig(), workers=2,
+                           fault_injector=injector)
+        with pool:
+            result = pool.extract(clips[0], timeout=0.02)
+        assert result.status == "timeout"
+        assert not result.ok
+        assert result.result is None
+
+    def test_overload_sheds_per_worker_queue(self, extractor, clips):
+        injector = FaultInjector(latency_s=0.05, latency_rate=1.0)
+        config = ServiceConfig(max_batch=1, max_queue=2, max_wait_s=0.0)
+        pool = ServicePool(extractor, config, workers=2,
+                           fault_injector=injector)
+        with pool:
+            futures = [pool.submit(clip, timeout=5.0)
+                       for clip in clips[:16]]
+            results = [f.result() for f in futures]
+        statuses = Counter(r.status for r in results)
+        assert statuses["shed"] > 0
+        assert set(statuses) <= {"ok", "shed"}
+        shed = next(r for r in results if r.status == "shed")
+        assert "queue full" in shed.error
+
+    def test_transient_failures_retried_in_worker(self, extractor,
+                                                  clips):
+        # The injector crosses the process boundary as a spec; each
+        # worker rebuilds it locally and retries exactly like the
+        # single service does.
+        injector = FaultInjector(failure_rate=1.0, max_failures=2)
+        config = ServiceConfig(max_retries=3, backoff_s=0.001)
+        pool = ServicePool(extractor, config, workers=1,
+                           fault_injector=injector)
+        with pool:
+            result = pool.extract(clips[0], timeout=10.0)
+        assert result.status == "ok"
+        assert result.retries == 2
+        assert _result_key(result.result) \
+            == _result_key(extractor.extract(clips[0]))
+
+    def test_every_request_accounted(self, extractor, clips):
+        before = metrics.counter("serve.requests", status="ok").value
+        with ServicePool(extractor, workers=2) as pool:
+            results = ServiceClient(pool).extract_many(
+                list(clips[:8]), concurrency=8)
+        assert all(r.status == "ok" for r in results)
+        after = metrics.counter("serve.requests", status="ok").value
+        assert after - before == 8
+        counts = pool.status_counts()
+        assert counts["ok"] == 8
+        assert sum(counts.values()) == 8
+
+    def test_ready_and_health_lifecycle(self, extractor):
+        pool = ServicePool(extractor, workers=2)
+        assert not pool.ready()
+        assert pool.health()["status"] == "stopped"
+        pool.start()
+        assert pool.ready()
+        assert pool.health()["status"] == "ok"
+        pool.stop()
+        assert not pool.ready()
+
+    def test_mine_over_pool(self, extractor, clips):
+        from repro.core import ScenarioMiner
+
+        miner = ScenarioMiner(extractor)
+        miner.index(clips)
+        expected = miner.query_tags(top_k=3, ego_action="stop")
+        with ServicePool(extractor, workers=2) as pool:
+            hits = ServiceClient(pool).mine(clips, top_k=3,
+                                            ego_action="stop")
+        assert [(h.clip_id, h.score) for h in hits] \
+            == [(h.clip_id, h.score) for h in expected]
+
+    def test_workers_validated(self, extractor):
+        with pytest.raises(ValueError, match="workers"):
+            ServicePool(extractor, workers=0)
+
+
+class TestHealthRollup:
+    def test_versioned_schema_with_worker_subdocs(self, extractor,
+                                                  clips):
+        with ServicePool(extractor, workers=3) as pool:
+            pool.extract(clips[0], timeout=10.0)
+            health = pool.health()
+        assert health["schema"] == HEALTH_SCHEMA
+        assert health["role"] == "pool"
+        assert health["world_size"] == 3
+        assert health["workers_up"] == 3
+        assert set(health["workers"]) == {"0", "1", "2"}
+        for rank, doc in health["workers"].items():
+            assert doc["schema"] == HEALTH_SCHEMA
+            assert doc["role"] == "service"
+            assert doc["rank"] == int(rank)
+            assert doc["status"] == "ok"
+        assert health["breaker"] == "closed"
+        assert health["requests"]["ok"] == 1
+        assert health["model_version"] == 1
+
+    def test_single_service_document_tagged_too(self, extractor):
+        from repro.serve import ExtractionService
+
+        with ExtractionService(extractor) as service:
+            health = service.health()
+        assert health["schema"] == HEALTH_SCHEMA
+        assert health["role"] == "service"
+
+    def test_breaker_rollup_is_worst_of_pool(self, extractor, clips):
+        # Persistent faults trip every worker's breaker; the pool
+        # surfaces the worst state and degrades.
+        injector = FaultInjector(failure_rate=1.0)
+        config = ServiceConfig(max_retries=0, breaker_failures=1,
+                               backoff_s=0.0, breaker_cooldown_s=60.0)
+        pool = ServicePool(extractor, config, workers=2,
+                           fault_injector=injector)
+        with pool:
+            results = [pool.extract(clip, timeout=10.0)
+                       for clip in clips[:6]]
+            health = pool.health()
+        assert all(r.status == "degraded" for r in results)
+        assert health["breaker"] == "open"
+        assert health["status"] == "degraded"
+
+
+class TestSharding:
+    def test_route_events_follow_content_hash(self, extractor, clips):
+        events = EventLog()  # memory mode: flight recorder only
+        with ServicePool(extractor, workers=3, events=events) as pool:
+            # Sequential submits so request ids follow clip order.
+            futures = [pool.submit(clip, timeout=10.0)
+                       for clip in clips[:12]]
+            assert all(f.result().status == "ok" for f in futures)
+        routed = {}
+        for record in events.read():
+            if record["event"] == "route":
+                routed[record["request_id"]] = record["worker"]
+        assert len(routed) == 12
+        # Every routed worker is exactly the hash's shard.
+        by_id = {i + 1: shard_of(clip_content_hash(clip), 3)
+                 for i, clip in enumerate(clips[:12])}
+        assert routed == by_id
+
+    def test_shard_caches_coherent_zero_cross_writes(self, extractor,
+                                                     clips, tmp_path):
+        cache_root = str(tmp_path / "cache")
+        config = ServiceConfig(max_batch=4, max_wait_s=0.01)
+        with ServicePool(extractor, config, workers=3,
+                         cache=cache_root) as pool:
+            first = ServiceClient(pool).extract_many(
+                list(clips[:12]), concurrency=12)
+            assert all(r.status == "ok" for r in first)
+            assert not any(r.cached for r in first)
+            second = ServiceClient(pool).extract_many(
+                list(clips[:12]), concurrency=12)
+        assert all(r.status == "ok" and r.cached for r in second)
+        # Inspect the shard stores: every persisted key must hash-route
+        # to the rank that owns the directory — zero cross-worker
+        # writes, by construction of the router.
+        populated = 0
+        for rank in range(3):
+            store = os.path.join(shard_cache_dir(cache_root, rank, 3),
+                                 CACHE_FILE)
+            if not os.path.exists(store):
+                continue
+            populated += 1
+            with open(store) as handle:
+                for line in handle:
+                    key = json.loads(line)["key"]
+                    clip_hash = key.split(":", 1)[0]
+                    assert shard_of(clip_hash, 3) == rank
+        assert populated == 3
+
+    def test_shard_caches_survive_pool_restart(self, extractor, clips,
+                                               tmp_path):
+        cache_root = str(tmp_path / "cache")
+        with ServicePool(extractor, workers=2,
+                         cache=cache_root) as pool:
+            warm = pool.extract(clips[0], timeout=10.0)
+        assert warm.status == "ok" and not warm.cached
+        # Same width, same routing function, same shard dirs: a fresh
+        # pool serves the clip straight from its shard's store.
+        with ServicePool(extractor, workers=2,
+                         cache=cache_root) as pool:
+            result = pool.extract(clips[0], timeout=10.0)
+        assert result.status == "ok"
+        assert result.cached
+
+    def test_health_sums_shard_cache_stats(self, extractor, clips,
+                                           tmp_path):
+        with ServicePool(extractor, workers=2,
+                         cache=str(tmp_path / "c")) as pool:
+            ServiceClient(pool).extract_many(list(clips[:6]),
+                                             concurrency=6)
+            ServiceClient(pool).extract_many(list(clips[:6]),
+                                             concurrency=6)
+            health = pool.health()
+        cache = health["cache"]
+        assert cache["entries"] == 6
+        assert cache["hits"] == 6
+        assert cache["misses"] == 6
+        assert cache["hit_rate"] == pytest.approx(0.5)
+
+
+class TestRollingReload:
+    def test_concurrent_reload_never_mixes_versions(self, clips):
+        # The ISSUE acceptance: a request stream across a rolling
+        # drain + swap sees only whole-version results — model_version
+        # 1 results are bitwise the old model's, version 2 the new
+        # model's, nothing in between.
+        model_a = build_model("vt-divided", CFG)
+        model_b = build_model(
+            "vt-divided",
+            ModelConfig(frames=4, dim=16, depth=1, num_heads=2, seed=9),
+        )
+        keys_a = [_result_key(r) for r in
+                  ScenarioExtractor(model_a).extract_batch(clips)]
+        keys_b = [_result_key(r) for r in
+                  ScenarioExtractor(model_b).extract_batch(clips)]
+        config = ServiceConfig(max_batch=4, max_wait_s=0.001)
+        pool = ServicePool(ScenarioExtractor(model_a), config,
+                           workers=2)
+        out = {}
+        with pool:
+            client = ServiceClient(pool)
+
+            def call(i):
+                out[i] = client.extract(clips[i], timeout=10.0)
+
+            threads = [threading.Thread(target=call, args=(i,))
+                       for i in range(len(clips))]
+            for j, thread in enumerate(threads):
+                thread.start()
+                if j == len(clips) // 2:
+                    version = pool.reload(model_b)
+            for thread in threads:
+                thread.join()
+        assert version == 2
+        assert pool.model_version == 2
+        assert len(out) == len(clips)
+        for i, result in out.items():
+            assert result.status == "ok"
+            key = _result_key(result.result)
+            assert key in (keys_a[i], keys_b[i])
+            if result.model_version == 2:
+                assert key == keys_b[i]
+            else:
+                assert key == keys_a[i]
+
+    def test_requests_during_drain_buffer_then_complete(self, extractor,
+                                                        clips, model):
+        # Inject latency so the drain has something to wait on, and
+        # fire requests mid-reload: all must still resolve "ok".
+        injector = FaultInjector(latency_s=0.02, latency_rate=1.0)
+        config = ServiceConfig(max_batch=2, max_wait_s=0.0)
+        pool = ServicePool(extractor, config, workers=2,
+                           fault_injector=injector)
+        with pool:
+            futures = [pool.submit(clip, timeout=10.0)
+                       for clip in clips[:8]]
+            version = pool.reload(model)
+            late = [pool.submit(clip, timeout=10.0)
+                    for clip in clips[8:12]]
+            results = [f.result() for f in futures + late]
+        assert version == 2
+        assert all(r.status == "ok" for r in results)
+
+    def test_reload_from_checkpoint_path(self, extractor, clips,
+                                         tmp_path):
+        model_b = build_model(
+            "frame-mlp",
+            ModelConfig(frames=4, dim=16, depth=1, num_heads=2, seed=5),
+        )
+        path = str(tmp_path / "reload.npz")
+        model_b.save(path)
+        expected = _result_key(
+            ScenarioExtractor(model_b).extract(clips[0]))
+        with ServicePool(extractor, workers=2) as pool:
+            pool.reload(path)
+            result = pool.extract(clips[0], timeout=10.0)
+        assert result.status == "ok"
+        assert _result_key(result.result) == expected
+
+    def test_reload_shape_change_rejected(self, extractor):
+        other = build_model(
+            "frame-mlp",
+            ModelConfig(frames=8, dim=16, depth=1, num_heads=2),
+        )
+        pool = ServicePool(extractor, workers=2)
+        with pytest.raises(ValueError, match="clip shape"):
+            pool.reload(other)
+
+    def test_reload_emits_per_worker_lifecycle(self, extractor, model,
+                                               clips):
+        events = EventLog()
+        with ServicePool(extractor, workers=2, events=events) as pool:
+            pool.extract(clips[0], timeout=10.0)
+            pool.reload(model)
+        kinds = [r["event"] for r in events.read()]
+        assert kinds.count("worker_drain") == 2
+        assert kinds.count("worker_reload") == 2
+        assert "reload" in kinds
+        # Rank 1 never drains before rank 0 re-admits: rolling, not
+        # simultaneous — at most one replica out of rotation.
+        drains = [r["worker"] for r in events.read()
+                  if r["event"] == "worker_drain"]
+        assert drains == [0, 1]
+
+
+class TestPoolBurstAccounting:
+    """The pool variant of the fault-burst acceptance: a concurrent
+    burst under injected faults completes with zero silent failures and
+    exact per-status accounting."""
+
+    def test_burst_all_accounted(self, clips):
+        model = build_model("vt-divided", CFG)
+        extractor = ScenarioExtractor(model)
+        direct_keys = [_result_key(r)
+                       for r in extractor.extract_batch(clips)]
+        injector = FaultInjector(failure_rate=0.3, latency_s=0.01,
+                                 latency_rate=0.1, seed=42)
+        config = ServiceConfig(max_batch=8, max_wait_s=0.002,
+                               max_queue=32, max_retries=2,
+                               backoff_s=0.001, breaker_failures=3,
+                               breaker_cooldown_s=0.02)
+        pool = ServicePool(extractor, config, workers=3,
+                           fault_injector=injector)
+        n = 96
+        requests = [clips[i % len(clips)] for i in range(n)]
+        with pool:
+            client = ServiceClient(pool)
+            results = client.extract_many(requests, concurrency=16,
+                                          timeout=10.0)
+        assert len(results) == n, "every request must get a response"
+        statuses = Counter(r.status for r in results)
+        assert sum(statuses.values()) == n
+        assert set(statuses) <= {"ok", "degraded", "shed", "timeout",
+                                 "error"}
+        assert statuses["error"] == 0
+        assert statuses["ok"] > 0
+        for i, result in enumerate(results):
+            if result.status == "ok":
+                assert _result_key(result.result) \
+                    == direct_keys[i % len(clips)]
+        counts = pool.status_counts()
+        assert sum(counts.values()) == n
+        for status in ("ok", "degraded", "shed", "timeout", "error"):
+            assert counts[status] == statuses.get(status, 0)
