@@ -46,10 +46,12 @@ _API_EXPORTS = (
     "ServiceClient",
     "ServiceConfig",
     "ServicePool",
+    "build_corpus",
     "extract_clip",
     "extract_video",
     "load_extractor",
     "mine",
+    "mine_corpus",
     "retrieve",
 )
 

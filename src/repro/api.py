@@ -26,11 +26,14 @@ from __future__ import annotations
 import itertools
 import os
 import warnings
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.cache import ExtractionCache, cached_extract_sliding
+from repro.core.fleet import FleetStats
+from repro.core.fleet import mine_corpus as _fleet_mine_corpus
+from repro.core.fleet import write_corpus as _fleet_write_corpus
 from repro.core.mining import MiningHit, ScenarioMiner
 from repro.core.pipeline import ExtractionResult, ScenarioExtractor
 from repro.core.retrieval import RetrievalIndex, retrieval_metrics
@@ -221,6 +224,45 @@ def mine(source: ExtractorSource, clips: np.ndarray,
     return miner.query_tags(top_k=top_k, min_score=min_score, **tags)
 
 
+def build_corpus(clips: np.ndarray, corpus_dir: Union[str, "os.PathLike"],
+                 shard_size: int = 64,
+                 families: Optional[Sequence[str]] = None
+                 ) -> Dict[str, int]:
+    """Materialise clips ``(N, T, C, H, W)`` as a sharded on-disk corpus
+    (``shard-NNNN/clip-NNNNNN.npz`` objects) for out-of-core mining.
+
+    The layout :func:`mine_corpus` and ``repro mine --corpus-dir``
+    consume; see ``docs/mining.md``.  Returns ``{"shards", "clips"}``.
+    """
+    return _fleet_write_corpus(np.asarray(clips), os.fspath(corpus_dir),
+                               shard_size=shard_size, families=families)
+
+
+def mine_corpus(source: ExtractorSource,
+                corpus_dir: Union[str, "os.PathLike"],
+                query: Optional[ScenarioDescription] = None,
+                top_k: int = 5, min_score: float = 0.0,
+                store_dir: Optional[str] = None,
+                cache: CacheLike = None,
+                **tags) -> Tuple[List[MiningHit], FleetStats]:
+    """Out-of-core :func:`mine` over a sharded corpus directory.
+
+    Walks the corpus shard by shard (one shard's clips in memory at a
+    time), persists per-shard tag stores keyed on the extractor
+    fingerprint, and answers the query through memory-mapped SDL
+    vectors — top-k results are bit-identical to :func:`mine` over the
+    same clips.  Re-running skips every already-persisted shard, so an
+    interrupted run resumes with zero repeat forward passes.  Returns
+    ``(hits, stats)`` where ``stats`` reports shards scanned / skipped
+    / extracted (see ``docs/mining.md``).
+    """
+    extractor = _as_extractor(source)
+    return _fleet_mine_corpus(extractor, os.fspath(corpus_dir),
+                              query=query, top_k=top_k,
+                              min_score=min_score, store_dir=store_dir,
+                              cache=_as_cache(cache, None), **tags)
+
+
 def retrieve(source: ExtractorSource, clips: np.ndarray,
              query: ScenarioDescription, top_k: int = 5,
              cache: CacheLike = None,
@@ -329,10 +371,12 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServicePool",
+    "build_corpus",
     "extract_clip",
     "extract_video",
     "load_extractor",
     "mine",
+    "mine_corpus",
     "retrieve",
     "retrieval_metrics",
     "serve",

@@ -2,14 +2,20 @@
 
 Commands
 --------
-- ``generate`` — build a SynthDrive dataset and save it to ``.npz``.
+- ``generate`` — build a SynthDrive dataset and save it to ``.npz``, or
+  (``--corpus-dir``) materialise it as a sharded on-disk corpus layout
+  for out-of-core mining (see ``docs/mining.md``).
 - ``train`` — train a model on a dataset file and save a checkpoint.
 - ``extract`` — run a trained model over a dataset and print sentences.
 - ``evaluate`` — full SDL metric suite of a checkpoint on a dataset.
 - ``mine`` — cache-backed corpus mining: JSONL export ranked by
   criticality plus optional tag queries; ``--cache-dir`` persists the
   extraction cache so re-runs skip the model entirely
-  (see ``docs/caching.md``).
+  (see ``docs/caching.md``).  With ``--corpus-dir`` instead of
+  ``--data``, mining runs **out of core** over a sharded corpus layout:
+  shards are extracted one at a time into per-shard tag stores, re-runs
+  skip every already-persisted shard, and queries go through
+  memory-mapped SDL vectors (see ``docs/mining.md``).
 - ``serve`` — run the fault-tolerant micro-batching extraction service
   against a dataset burst and report per-status accounting; with
   ``--events-dir`` every request lifecycle is recorded to a structured
@@ -101,11 +107,27 @@ def _model_config(args, frames: int) -> ModelConfig:
 
 
 def cmd_generate(args) -> int:
-    """``generate``: build and save a SynthDrive dataset."""
+    """``generate``: build a SynthDrive dataset and save it either as
+    one ``.npz`` file (``--out``) or as a sharded on-disk corpus layout
+    (``--corpus-dir``, consumed by ``mine --corpus-dir``)."""
+    if bool(args.out) == bool(args.corpus_dir):
+        print("error: pass exactly one of --out or --corpus-dir",
+              file=sys.stderr)
+        return 2
     config = SynthDriveConfig(num_clips=args.clips, frames=args.frames,
                               seed=args.seed, view=args.view,
                               ambient_traffic=args.ambient)
     dataset = generate_dataset(config, workers=args.workers)
+    if args.corpus_dir:
+        from repro.core.fleet import write_corpus
+
+        info = write_corpus(dataset.videos, args.corpus_dir,
+                            shard_size=args.shard_size,
+                            families=dataset.families)
+        print(f"wrote {info['clips']} clips "
+              f"({dataset.videos.shape[1:]} each) to {info['shards']} "
+              f"shards under {args.corpus_dir}")
+        return 0
     dataset.save(args.out)
     print(f"wrote {len(dataset)} clips "
           f"({dataset.videos.shape[1:]} each) to {args.out}")
@@ -205,6 +227,77 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def _mine_tags(args) -> dict:
+    """Tag query assembled from the ``mine`` flags (empty = no query)."""
+    tags = {}
+    if args.scene:
+        tags["scene"] = args.scene
+    if args.ego_action:
+        tags["ego_action"] = args.ego_action
+    if args.actor:
+        tags["actors"] = set(args.actor)
+    if args.actor_action:
+        tags["actor_actions"] = set(args.actor_action)
+    return tags
+
+
+def _mine_fleet(args) -> int:
+    """``mine --corpus-dir``: out-of-core mining over a sharded corpus.
+
+    Shards are extracted one at a time into per-shard tag stores keyed
+    on the extractor fingerprint; a re-run (including after an
+    interruption) skips every already-persisted shard, performing zero
+    repeat forward passes.  Queries rank through memory-mapped SDL
+    vectors and are bit-identical to in-memory mining over the same
+    clips (see ``docs/mining.md``).
+    """
+    from repro.core import fleet
+    from repro.core.cache import ExtractionCache
+
+    shape = fleet.corpus_clip_shape(args.corpus_dir)
+    model = _load_model(args, shape[0])
+    extractor = ScenarioExtractor(model, precision=args.precision)
+    cache = ExtractionCache(args.cache_dir or None)
+    stats = fleet.extract_corpus(extractor, args.corpus_dir, cache=cache)
+    index = fleet.FleetIndex.open(args.corpus_dir, extractor)
+    tags = _mine_tags(args)
+    hits = (index.query_tags(top_k=args.top_k, min_score=args.min_score,
+                             **tags) if tags else [])
+    summary = {
+        "schema": "repro.mine/v1",
+        "clips": len(index),
+        "records_path": None,
+        "fleet": stats.to_dict(),
+        "cache": cache.stats(),
+        "extracted_clips": stats.clips_extracted,
+        "top_criticality": fleet.top_criticality(index, args.top),
+        "query": {k: sorted(v) if isinstance(v, set) else v
+                  for k, v in tags.items()} or None,
+        "hits": [
+            {"clip_id": h.clip_id, "score": round(h.score, 4),
+             "sentence": h.sentence}
+            for h in hits
+        ],
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"corpus {args.corpus_dir}: {stats.shards} shards / "
+          f"{stats.clips} clips (extracted {stats.shards_extracted}, "
+          f"skipped {stats.shards_skipped} already persisted)")
+    print(f"tag store: {stats.store_root}")
+    print(f"top {args.top} by criticality:")
+    for record in summary["top_criticality"]:
+        print(f"  clip {record['clip_id']:3d} "
+              f"crit={record['criticality']:.3f} {record['sentence']}")
+    if tags:
+        print(f"query {summary['query']} -> {len(hits)} hits:")
+        for hit in hits:
+            print(f"  clip {hit.clip_id:3d} score={hit.score:.3f} "
+                  f"{hit.sentence}")
+    return 0
+
+
 def cmd_mine(args) -> int:
     """``mine``: cache-backed corpus mining.
 
@@ -215,11 +308,22 @@ def cmd_mine(args) -> int:
     (``--ego-action`` / ``--actor`` ...), and reports a cache-stats
     summary.  Re-running over an already-cached corpus performs zero
     extractor forward passes and returns bit-identical records/hits.
+    ``--corpus-dir`` switches to the out-of-core path
+    (:func:`_mine_fleet`).
     """
     from repro.core.cache import ExtractionCache
     from repro.core.export import export_corpus
     from repro.core.mining import ScenarioMiner
 
+    if bool(args.data) == bool(args.corpus_dir):
+        print("error: pass exactly one of --data or --corpus-dir",
+              file=sys.stderr)
+        return 2
+    if args.corpus_dir:
+        return _mine_fleet(args)
+    if not args.out:
+        print("error: --out is required with --data", file=sys.stderr)
+        return 2
     dataset = SynthDriveDataset.load(args.data)
     model = _load_model(args, dataset.videos.shape[1])
     extractor = ScenarioExtractor(model, precision=args.precision)
@@ -228,15 +332,7 @@ def cmd_mine(args) -> int:
                             families=dataset.families, cache=cache)
     ranked = sorted(records, key=lambda r: -r["criticality"])
 
-    tags = {}
-    if args.scene:
-        tags["scene"] = args.scene
-    if args.ego_action:
-        tags["ego_action"] = args.ego_action
-    if args.actor:
-        tags["actors"] = set(args.actor)
-    if args.actor_action:
-        tags["actor_actions"] = set(args.actor_action)
+    tags = _mine_tags(args)
     hits = []
     if tags:
         miner = ScenarioMiner(extractor, cache=cache)
@@ -632,7 +728,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--workers", type=int, default=0,
                      help="process-pool workers for clip generation "
                           "(0/1 = serial; output is identical either way)")
-    gen.add_argument("--out", required=True)
+    gen.add_argument("--out", default="",
+                     help="write the dataset as one .npz file")
+    gen.add_argument("--corpus-dir", default="",
+                     help="instead of --out: materialise the clips as a "
+                          "sharded corpus layout for out-of-core mining "
+                          "(shard-NNNN/clip-NNNNNN.npz objects)")
+    gen.add_argument("--shard-size", type=int, default=64,
+                     help="clips per shard for --corpus-dir")
     gen.set_defaults(fn=cmd_generate)
 
     train = sub.add_parser("train", help="train a model")
@@ -801,9 +904,17 @@ def build_parser() -> argparse.ArgumentParser:
         "mine", help="cache-backed corpus mining: JSONL export ranked "
                      "by criticality plus optional tag queries"
     )
-    mine.add_argument("--data", required=True)
+    mine.add_argument("--data", default="",
+                      help="dataset .npz for in-memory mining")
+    mine.add_argument("--corpus-dir", default="",
+                      help="instead of --data: sharded corpus directory "
+                           "for out-of-core mining (resumable; re-runs "
+                           "skip already-persisted shards)")
     mine.add_argument("--checkpoint", required=True)
-    mine.add_argument("--out", required=True)
+    mine.add_argument("--out", default="",
+                      help="JSONL records path (required with --data; "
+                           "--corpus-dir persists per-shard stores "
+                           "instead)")
     mine.add_argument("--top", type=int, default=5,
                       help="print this many most-critical clips")
     mine.add_argument("--cache-dir", default="",

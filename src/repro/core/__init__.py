@@ -11,6 +11,15 @@ from repro.core.cache import (
     extractor_version,
     model_fingerprint,
 )
+from repro.core.fleet import (
+    FleetIndex,
+    FleetStats,
+    FleetStore,
+    extract_corpus,
+    extraction_fingerprint,
+    mine_corpus,
+    write_corpus,
+)
 from repro.core.mining import MiningHit, ScenarioMiner
 from repro.core.retrieval import RetrievalIndex, retrieval_metrics
 
@@ -18,9 +27,16 @@ __all__ = [
     "ScenarioExtractor",
     "ExtractionResult",
     "ExtractionCache",
+    "FleetIndex",
+    "FleetStats",
+    "FleetStore",
     "ScenarioMiner",
     "MiningHit",
     "RetrievalIndex",
+    "extract_corpus",
+    "extraction_fingerprint",
+    "mine_corpus",
+    "write_corpus",
     "cached_extract_batch",
     "cached_extract_sliding",
     "clip_content_hash",

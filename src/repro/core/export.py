@@ -9,6 +9,7 @@ service would persist.
 from __future__ import annotations
 
 import json
+import os
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -38,25 +39,58 @@ def result_to_record(clip_id: int, result: ExtractionResult,
 def export_corpus(extractor: ScenarioExtractor, clips: np.ndarray,
                   path: str,
                   families: Optional[Sequence[str]] = None,
-                  cache=None) -> List[dict]:
+                  cache=None,
+                  chunk_size: Optional[int] = None) -> List[dict]:
     """Extract every clip and write one JSON line per clip to ``path``.
+
+    Extraction is streamed in bounded chunks (``chunk_size`` clips per
+    :func:`~repro.core.cache.cached_extract_batch` call, defaulting to
+    the extractor's batch size) and the file is written **atomically**:
+    lines go to ``path + ".tmp"`` as chunks complete and the temp file
+    is renamed over ``path`` only after the last record — a crash
+    mid-export leaves any previous export intact instead of a truncated
+    file that :func:`load_corpus` would half-parse.
 
     Returns the records (also useful without the file side-effect via
     ``path=None`` — then nothing is written).  An optional
     :class:`~repro.core.cache.ExtractionCache` answers already-described
-    clips without a forward pass."""
+    clips without a forward pass.  For corpora larger than memory, use
+    the per-shard stores of :mod:`repro.core.fleet` instead — this
+    function still buffers the returned record list.
+    """
     from repro.core.cache import cached_extract_batch
 
-    results = cached_extract_batch(extractor, clips, cache)
-    records = [
-        result_to_record(i, result,
-                         families[i] if families is not None else None)
-        for i, result in enumerate(results)
-    ]
-    if path is not None:
-        with open(path, "w") as handle:
-            for record in records:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+    clips = np.asarray(clips)
+    if chunk_size is None:
+        chunk_size = max(int(getattr(extractor, "batch_size", 16)), 1)
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    records: List[dict] = []
+    tmp = None if path is None else f"{path}.tmp"
+    handle = None if tmp is None else open(tmp, "w")
+    try:
+        for start in range(0, len(clips), chunk_size):
+            chunk = clips[start:start + chunk_size]
+            results = cached_extract_batch(extractor, chunk, cache)
+            for offset, result in enumerate(results):
+                i = start + offset
+                record = result_to_record(
+                    i, result,
+                    families[i] if families is not None else None)
+                records.append(record)
+                if handle is not None:
+                    handle.write(json.dumps(record, sort_keys=True)
+                                 + "\n")
+        if handle is not None:
+            handle.close()
+            handle = None
+            os.replace(tmp, path)
+            tmp = None
+    finally:
+        if handle is not None:
+            handle.close()
+        if tmp is not None and os.path.exists(tmp):
+            os.remove(tmp)
     return records
 
 

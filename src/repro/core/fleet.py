@@ -1,0 +1,531 @@
+"""Out-of-core fleet corpus mining: streaming, resumable, partitioned.
+
+The paper's headline use-case is fleet-scale mining — "find every
+pedestrian-crossing clip" over logs far larger than memory.  The
+in-memory :class:`~repro.core.mining.ScenarioMiner` holds every SDL
+vector in RAM and extracts the corpus in one call; this module is the
+same pipeline restructured around an object-store-style corpus layout
+so none of corpus, descriptions or vectors ever needs to fit at once::
+
+    corpus_dir/
+      shard-0000/clip-000000.npz   # one clip per object: array 'clip'
+      shard-0000/clip-000001.npz   #   (+ optional 'family' tag)
+      shard-0001/...
+
+Extraction (:func:`extract_corpus`) walks the shards in sorted order
+and, one shard at a time, runs the clips through
+:func:`~repro.core.cache.cached_extract_batch` and persists two files
+per shard plus a corpus manifest under a **fingerprint-keyed** store
+directory::
+
+    store_dir/<fingerprint>/
+      shard-0000.tags.jsonl        # per-clip tag records (export schema)
+      shard-0000.vectors.npy       # float32 (n, D) SDL embedding matrix
+      manifest.json                # repro.fleet/v1 corpus manifest
+
+``fingerprint`` is ``extractor_version × vocabulary hash × decode
+threshold`` — exactly the non-clip components of the extraction-cache
+key — so resumability is *skip-if-result-exists*: a shard whose two
+store files already exist under the current fingerprint is never
+re-extracted, an interrupted run resumes where it stopped with zero
+repeat forward passes, and results from a different model version /
+vocabulary / threshold can never be served as current (they live in a
+different directory).
+
+Queries go through :class:`FleetIndex`: per-shard SDL-vector arrays are
+**memory-mapped**, scored shard by shard, and the per-shard
+:func:`~repro.core.retrieval.topk_indices` candidates are merged with
+the same ``(-score, clip_id)`` ordering the in-memory miner uses — the
+merged top-k is bit-identical to :meth:`ScenarioMiner.query` over the
+same clips (each shard's local ordering is a contiguous slice of the
+global ordering, so a shard's own top-k always covers its contribution
+to the global top-k).
+
+Counters (``repro.obs``): ``fleet.shards_scanned`` /
+``fleet.shards_skipped`` / ``fleet.shards_extracted`` /
+``fleet.clips_extracted`` and the ``fleet.vectors_mapped`` gauge.
+See ``docs/mining.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cache import (
+    ExtractionCache,
+    cached_extract_batch,
+    extractor_version,
+)
+from repro.core.export import result_to_record
+from repro.core.mining import MiningHit
+from repro.core.pipeline import ScenarioExtractor
+from repro.core.retrieval import topk_indices
+from repro.obs import get_logger, metrics
+from repro.sdl.description import ScenarioDescription
+from repro.sdl.similarity import sdl_vector
+
+#: Schema tag of the corpus manifest.
+FLEET_FORMAT = "repro.fleet/v1"
+
+#: Manifest file name inside a fingerprint store directory.
+MANIFEST_FILE = "manifest.json"
+
+#: Default store root inside a corpus directory.
+DEFAULT_STORE_DIR = "_fleet"
+
+_SHARD_PREFIX = "shard-"
+_CLIP_PREFIX = "clip-"
+_TAGS_SUFFIX = ".tags.jsonl"
+_VECTORS_SUFFIX = ".vectors.npy"
+
+_logger = get_logger("core.fleet")
+
+
+# -- corpus layout ------------------------------------------------------
+def write_corpus(clips: np.ndarray, corpus_dir: str,
+                 shard_size: int = 64,
+                 families: Optional[Sequence[str]] = None) -> Dict[str, int]:
+    """Materialise clips ``(N, T, C, H, W)`` as a sharded corpus layout.
+
+    Clips land in ``shard-NNNN/clip-NNNNNN.npz`` objects in order, so
+    the global clip id of the walk (sorted shards, sorted clips) equals
+    the clip's position in ``clips`` — the property the out-of-core /
+    in-memory parity guarantees rely on.  Returns ``{"shards", "clips"}``.
+    """
+    clips = np.asarray(clips)
+    if clips.ndim != 5:
+        raise ValueError("expected (N, T, C, H, W) clips")
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    if families is not None and len(families) != len(clips):
+        raise ValueError("families must align with clips")
+    corpus_dir = os.fspath(corpus_dir)
+    shards = 0
+    for start in range(0, len(clips), shard_size):
+        shard_dir = os.path.join(corpus_dir,
+                                 f"{_SHARD_PREFIX}{shards:04d}")
+        os.makedirs(shard_dir, exist_ok=True)
+        for offset in range(start, min(start + shard_size, len(clips))):
+            payload = {"clip": np.ascontiguousarray(clips[offset])}
+            if families is not None:
+                payload["family"] = np.array(str(families[offset]))
+            np.savez(os.path.join(
+                shard_dir, f"{_CLIP_PREFIX}{offset:06d}.npz"), **payload)
+        shards += 1
+    return {"shards": shards, "clips": len(clips)}
+
+
+def corpus_shards(corpus_dir: str) -> List[str]:
+    """Sorted shard directory names of a corpus layout."""
+    corpus_dir = os.fspath(corpus_dir)
+    if not os.path.isdir(corpus_dir):
+        raise FileNotFoundError(f"no corpus at {corpus_dir}")
+    return sorted(
+        name for name in os.listdir(corpus_dir)
+        if name.startswith(_SHARD_PREFIX)
+        and os.path.isdir(os.path.join(corpus_dir, name))
+    )
+
+
+def shard_clip_paths(corpus_dir: str, shard: str) -> List[str]:
+    """Sorted clip object paths of one shard."""
+    shard_dir = os.path.join(os.fspath(corpus_dir), shard)
+    return [
+        os.path.join(shard_dir, name)
+        for name in sorted(os.listdir(shard_dir))
+        if name.startswith(_CLIP_PREFIX) and name.endswith(".npz")
+    ]
+
+
+def load_clip(path: str) -> Tuple[np.ndarray, Optional[str]]:
+    """One clip object: the ``(T, C, H, W)`` array and its family tag."""
+    with np.load(path, allow_pickle=False) as archive:
+        clip = archive["clip"]
+        family = (str(archive["family"])
+                  if "family" in archive.files else None)
+    return clip, family
+
+
+def corpus_clip_shape(corpus_dir: str) -> Tuple[int, ...]:
+    """Shape ``(T, C, H, W)`` of the corpus' clips (from the first)."""
+    for shard in corpus_shards(corpus_dir):
+        paths = shard_clip_paths(corpus_dir, shard)
+        if paths:
+            clip, _ = load_clip(paths[0])
+            return tuple(clip.shape)
+    raise FileNotFoundError(f"corpus {corpus_dir} holds no clips")
+
+
+# -- fingerprint + store ------------------------------------------------
+def extraction_fingerprint(extractor: ScenarioExtractor) -> str:
+    """The resumability key: model version × vocabulary × threshold.
+
+    The same components (minus the per-clip hash) that address the
+    extraction cache — two extractors share a fingerprint iff their
+    persisted tag stores are interchangeable.
+    """
+    version = extractor_version(extractor)
+    vocab = extractor.codec.vocab.content_hash[:12]
+    return f"{version}-{vocab}-t{extractor.threshold:g}"
+
+
+class FleetStore:
+    """Paths and (de)serialisation of one fingerprint's shard stores."""
+
+    def __init__(self, store_dir: str, fingerprint: str) -> None:
+        self.root = os.path.join(os.fspath(store_dir), fingerprint)
+        self.fingerprint = fingerprint
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_FILE)
+
+    def tags_path(self, shard: str) -> str:
+        return os.path.join(self.root, shard + _TAGS_SUFFIX)
+
+    def vectors_path(self, shard: str) -> str:
+        return os.path.join(self.root, shard + _VECTORS_SUFFIX)
+
+    def has_shard(self, shard: str, expected_clips: int) -> bool:
+        """Skip-if-result-exists: both files present and the vector
+        array row count matches the shard's clip count."""
+        tags, vectors = self.tags_path(shard), self.vectors_path(shard)
+        if not (os.path.exists(tags) and os.path.exists(vectors)):
+            return False
+        try:
+            rows = np.load(vectors, mmap_mode="r").shape[0]
+        except Exception:
+            return False
+        return rows == expected_clips
+
+    def write_shard(self, shard: str, records: List[dict],
+                    matrix: np.ndarray) -> None:
+        """Persist one shard's tag store + vector array atomically
+        (tmp + rename per file, records last — the skip check keys on
+        both files existing)."""
+        os.makedirs(self.root, exist_ok=True)
+        vectors_path = self.vectors_path(shard)
+        tmp = vectors_path + ".tmp"
+        with open(tmp, "wb") as handle:
+            np.save(handle, np.ascontiguousarray(matrix,
+                                                 dtype=np.float32))
+        os.replace(tmp, vectors_path)
+        tags_path = self.tags_path(shard)
+        tmp = tags_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, tags_path)
+
+    def read_shard_records(self, shard: str) -> List[dict]:
+        records = []
+        with open(self.tags_path(shard), encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    def write_manifest(self, manifest: dict) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, sort_keys=True, indent=2)
+        os.replace(tmp, self.manifest_path)
+
+    def read_manifest(self) -> dict:
+        with open(self.manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("schema") != FLEET_FORMAT:
+            raise ValueError(
+                f"unknown fleet manifest schema "
+                f"{manifest.get('schema')!r}")
+        return manifest
+
+
+def _resolve_store(corpus_dir: str, store_dir: Optional[str],
+                   fingerprint: str) -> FleetStore:
+    root = (os.fspath(store_dir) if store_dir is not None
+            else os.path.join(os.fspath(corpus_dir), DEFAULT_STORE_DIR))
+    return FleetStore(root, fingerprint)
+
+
+# -- extraction ---------------------------------------------------------
+@dataclass
+class FleetStats:
+    """Accounting of one :func:`extract_corpus` pass."""
+
+    fingerprint: str
+    store_root: str
+    shards: int = 0
+    shards_skipped: int = 0
+    shards_extracted: int = 0
+    clips: int = 0
+    clips_extracted: int = 0
+    shard_clip_counts: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "store_root": self.store_root,
+            "shards": self.shards,
+            "shards_skipped": self.shards_skipped,
+            "shards_extracted": self.shards_extracted,
+            "clips": self.clips,
+            "clips_extracted": self.clips_extracted,
+        }
+
+
+def extract_corpus(extractor: ScenarioExtractor, corpus_dir: str,
+                   store_dir: Optional[str] = None,
+                   cache: Optional[ExtractionCache] = None,
+                   batch_size: Optional[int] = None) -> FleetStats:
+    """Walk the corpus shard by shard, extracting what isn't persisted.
+
+    One shard's clips are materialised in memory at a time; a shard
+    whose store files already exist under the current fingerprint is
+    skipped without touching its clip objects.  With a ``cache``, the
+    forward passes of extracted shards additionally dedupe per clip.
+    The manifest is (re)written at the end of every pass, so a pass
+    that completes always leaves a queryable store.  Returns the pass
+    accounting; raising mid-pass loses at most the shard in flight.
+    """
+    fingerprint = extraction_fingerprint(extractor)
+    store = _resolve_store(corpus_dir, store_dir, fingerprint)
+    stats = FleetStats(fingerprint=fingerprint, store_root=store.root)
+    shard_entries = []
+    offset = 0
+    for shard in corpus_shards(corpus_dir):
+        paths = shard_clip_paths(corpus_dir, shard)
+        if not paths:
+            continue
+        stats.shards += 1
+        stats.shard_clip_counts[shard] = len(paths)
+        metrics.counter("fleet.shards_scanned").inc()
+        if store.has_shard(shard, len(paths)):
+            stats.shards_skipped += 1
+            metrics.counter("fleet.shards_skipped").inc()
+        else:
+            clips, families = [], []
+            for path in paths:
+                clip, family = load_clip(path)
+                clips.append(clip)
+                families.append(family)
+            results = cached_extract_batch(
+                extractor, np.stack(clips), cache,
+                batch_size=batch_size)
+            records = []
+            vectors = np.zeros(
+                (len(results), len(sdl_vector(results[0].description))),
+                dtype=np.float32)
+            for i, (path, result) in enumerate(zip(paths, results)):
+                record = result_to_record(offset + i, result,
+                                          family=families[i])
+                record["shard"] = shard
+                record["object"] = os.path.basename(path)
+                records.append(record)
+                vectors[i] = sdl_vector(result.description)
+            store.write_shard(shard, records, vectors)
+            stats.shards_extracted += 1
+            stats.clips_extracted += len(paths)
+            metrics.counter("fleet.shards_extracted").inc()
+            metrics.counter("fleet.clips_extracted").inc(len(paths))
+            _logger.info("extracted shard %s (%d clips)", shard,
+                         len(paths))
+        shard_entries.append({"name": shard, "clips": len(paths),
+                              "offset": offset})
+        offset += len(paths)
+    stats.clips = offset
+    store.write_manifest({
+        "schema": FLEET_FORMAT,
+        "fingerprint": fingerprint,
+        "corpus_dir": os.path.abspath(os.fspath(corpus_dir)),
+        "shards": shard_entries,
+        "clips": offset,
+    })
+    return stats
+
+
+# -- partitioned retrieval ---------------------------------------------
+class FleetIndex:
+    """Partitioned retrieval over a fingerprint store's shard files.
+
+    Per-shard SDL-vector arrays are opened with ``mmap_mode="r"`` — the
+    OS pages vectors in on demand, so querying a million-clip corpus
+    never loads its matrix.  Rankings are bit-identical to the
+    in-memory :class:`~repro.core.mining.ScenarioMiner` over the same
+    clips: per-shard cosine scores use the miner's exact formula, each
+    shard contributes its own :func:`topk_indices` candidates, and the
+    merge re-applies the global ``(-score, clip_id)`` ordering.
+    """
+
+    def __init__(self, store: FleetStore) -> None:
+        self.store = store
+        manifest = store.read_manifest()
+        self.manifest = manifest
+        self._shards: List[dict] = list(manifest["shards"])
+        self._matrices: Dict[str, np.ndarray] = {}
+        self._record_cache: Dict[str, List[dict]] = {}
+
+    @classmethod
+    def open(cls, corpus_dir: str, extractor: ScenarioExtractor,
+             store_dir: Optional[str] = None) -> "FleetIndex":
+        """Open the store matching ``extractor``'s fingerprint."""
+        fingerprint = extraction_fingerprint(extractor)
+        return cls(_resolve_store(corpus_dir, store_dir, fingerprint))
+
+    def __len__(self) -> int:
+        return int(self.manifest["clips"])
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def _matrix(self, shard: str) -> np.ndarray:
+        matrix = self._matrices.get(shard)
+        if matrix is None:
+            matrix = np.load(self.store.vectors_path(shard),
+                             mmap_mode="r")
+            self._matrices[shard] = matrix
+            metrics.gauge("fleet.vectors_mapped").add(
+                float(matrix.shape[0]))
+        return matrix
+
+    def _record(self, shard: str, local_index: int) -> dict:
+        records = self._record_cache.get(shard)
+        if records is None:
+            records = self.store.read_shard_records(shard)
+            self._record_cache[shard] = records
+        return records[local_index]
+
+    def query(self, query: ScenarioDescription, top_k: int = 5,
+              min_score: float = 0.0) -> List[MiningHit]:
+        """Rank the corpus by SDL similarity; same contract as
+        :meth:`ScenarioMiner.query` (inclusive ``min_score``, ties by
+        ascending clip id)."""
+        if len(self) == 0:
+            raise RuntimeError("fleet index holds no clips; run "
+                               "extract_corpus() first")
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        q = sdl_vector(query)
+        q_norm = np.linalg.norm(q)
+        candidate_ids: List[int] = []
+        candidate_scores: List[float] = []
+        candidate_local: List[Tuple[str, int]] = []
+        for entry in self._shards:
+            shard, offset = entry["name"], int(entry["offset"])
+            matrix = self._matrix(shard)
+            denom = np.linalg.norm(matrix, axis=1) * q_norm
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scores = np.where(denom == 0.0, 0.0, matrix @ q / denom)
+            scores = np.clip(scores, 0.0, 1.0)
+            for local in topk_indices(scores, top_k):
+                candidate_ids.append(offset + int(local))
+                candidate_scores.append(float(scores[local]))
+                candidate_local.append((shard, int(local)))
+        ids = np.asarray(candidate_ids, dtype=np.intp)
+        scores = np.asarray(candidate_scores, dtype=np.float32)
+        order = np.lexsort((ids, -scores))[:top_k]
+        hits: List[MiningHit] = []
+        for position in order:
+            score = float(scores[position])
+            if score < min_score:
+                continue
+            shard, local = candidate_local[position]
+            record = self._record(shard, local)
+            desc = ScenarioDescription.from_dict(record["description"])
+            hits.append(MiningHit(clip_id=int(ids[position]),
+                                  score=score, description=desc,
+                                  sentence=record["sentence"]))
+        return hits
+
+    def query_tags(self, top_k: int = 5, min_score: float = 0.0,
+                   **tags) -> List[MiningHit]:
+        """Keyword-tag convenience query, mirroring
+        :meth:`ScenarioMiner.query_tags`."""
+        query = ScenarioDescription(
+            scene=tags.get("scene", "straight-road"),
+            ego_action=tags.get("ego_action", "drive-straight"),
+            actors=frozenset(tags.get("actors", ())),
+            actor_actions=frozenset(tags.get("actor_actions", ())),
+        )
+        return self.query(query, top_k=top_k, min_score=min_score)
+
+    def iter_records(self) -> Iterator[dict]:
+        """Stream every tag record in global clip-id order."""
+        for entry in self._shards:
+            for record in self.store.read_shard_records(entry["name"]):
+                yield record
+
+
+def top_criticality(index: FleetIndex, n: int) -> List[dict]:
+    """The ``n`` most critical clips, streamed shard by shard.
+
+    Keeps only the running top-``n`` in memory (ties resolve toward
+    the lower clip id — the same ordering a full sort would give).
+    """
+    best: List[Tuple[float, int, dict]] = []
+    for record in index.iter_records():
+        best.append((-float(record["criticality"]),
+                     int(record["clip_id"]), record))
+        best.sort(key=lambda item: item[:2])
+        del best[n:]
+    return [
+        {"clip_id": record["clip_id"],
+         "criticality": record["criticality"],
+         "sentence": record["sentence"]}
+        for _, _, record in best
+    ]
+
+
+def mine_corpus(extractor: ScenarioExtractor, corpus_dir: str,
+                query: Optional[ScenarioDescription] = None,
+                top_k: int = 5, min_score: float = 0.0,
+                store_dir: Optional[str] = None,
+                cache: Optional[ExtractionCache] = None,
+                **tags) -> Tuple[List[MiningHit], FleetStats]:
+    """Extract-or-resume the corpus, then answer one query.
+
+    The one-call fleet counterpart of :func:`repro.api.mine`: runs
+    :func:`extract_corpus` (pure skip for already-persisted shards),
+    opens the partitioned index, and ranks.  Returns the hits and the
+    extraction-pass accounting.
+    """
+    stats = extract_corpus(extractor, corpus_dir, store_dir=store_dir,
+                           cache=cache)
+    index = FleetIndex.open(corpus_dir, extractor, store_dir=store_dir)
+    if query is not None:
+        if tags:
+            raise ValueError("pass either query or tags, not both")
+        hits = index.query(query, top_k=top_k, min_score=min_score)
+    elif tags:
+        hits = index.query_tags(top_k=top_k, min_score=min_score,
+                                **tags)
+    else:
+        hits = []
+    return hits, stats
+
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "FLEET_FORMAT",
+    "MANIFEST_FILE",
+    "FleetIndex",
+    "FleetStats",
+    "FleetStore",
+    "corpus_clip_shape",
+    "corpus_shards",
+    "extract_corpus",
+    "extraction_fingerprint",
+    "load_clip",
+    "mine_corpus",
+    "shard_clip_paths",
+    "top_criticality",
+    "write_corpus",
+]

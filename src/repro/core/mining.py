@@ -14,7 +14,7 @@ answers repeat clips without a forward pass (see ``docs/caching.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,8 @@ class ScenarioMiner:
         self.cache = cache
         self._descriptions: List[ScenarioDescription] = []
         self._vectors: List[np.ndarray] = []
+        self._matrix: Optional[np.ndarray] = None
+        self._row_norms: Optional[np.ndarray] = None
 
     # -- indexing -----------------------------------------------------
     def index(self, clips: np.ndarray) -> None:
@@ -48,6 +50,8 @@ class ScenarioMiner:
         ``(N, T, C, H, W)``; replaces any previous index."""
         self._descriptions = []
         self._vectors = []
+        self._matrix = None
+        self._row_norms = None
         self.add_clips(clips)
 
     def add_clips(self, clips: np.ndarray) -> List[int]:
@@ -72,6 +76,8 @@ class ScenarioMiner:
         replaces any previous index."""
         self._descriptions = []
         self._vectors = []
+        self._matrix = None
+        self._row_norms = None
         self.add_descriptions(descriptions)
 
     def add_descriptions(self,
@@ -82,6 +88,9 @@ class ScenarioMiner:
         for desc in descriptions:
             self._descriptions.append(desc)
             self._vectors.append(sdl_vector(desc))
+        if descriptions:
+            self._matrix = None
+            self._row_norms = None
         return list(range(start, len(self._descriptions)))
 
     @property
@@ -89,12 +98,21 @@ class ScenarioMiner:
         return len(self._descriptions)
 
     # -- querying -----------------------------------------------------
+    def _stacked(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The stacked embedding matrix and its row norms, cached
+        between queries and invalidated whenever clips are appended —
+        an unchanged index is never re-stacked per query."""
+        if self._matrix is None:
+            self._matrix = np.stack(self._vectors)
+            self._row_norms = np.linalg.norm(self._matrix, axis=1)
+        return self._matrix, self._row_norms
+
     def _scores(self, query: ScenarioDescription) -> np.ndarray:
         """SDL cosine similarity of the query against every indexed
         clip, vectorized over the stored embedding matrix."""
-        matrix = np.stack(self._vectors)
+        matrix, row_norms = self._stacked()
         q = sdl_vector(query)
-        denom = np.linalg.norm(matrix, axis=1) * np.linalg.norm(q)
+        denom = row_norms * np.linalg.norm(q)
         with np.errstate(divide="ignore", invalid="ignore"):
             scores = np.where(denom == 0.0, 0.0, matrix @ q / denom)
         return np.clip(scores, 0.0, 1.0)

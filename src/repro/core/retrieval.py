@@ -13,7 +13,7 @@ no forward passes (see ``docs/caching.md``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -53,16 +53,26 @@ class RetrievalIndex:
 
     def __init__(self, extractor=None, cache=None) -> None:
         self._ids: List[int] = []
+        self._id_set: Set[int] = set()
         self._vectors: List[np.ndarray] = []
+        self._matrix: Optional[np.ndarray] = None
+        self._row_norms: Optional[np.ndarray] = None
         self._extractor = extractor
         self._cache = cache
 
     def add(self, clip_id: int, description: ScenarioDescription) -> None:
-        """Add one clip under a caller-chosen id; ids must be unique."""
-        if clip_id in self._ids:
+        """Add one clip under a caller-chosen id; ids must be unique.
+
+        Membership is checked against a side set, so indexing N clips
+        costs O(N) total (the list-scan it replaced made it O(N²)).
+        """
+        if clip_id in self._id_set:
             raise ValueError(f"clip id {clip_id} already indexed")
         self._ids.append(clip_id)
+        self._id_set.add(clip_id)
         self._vectors.append(sdl_vector(description))
+        self._matrix = None
+        self._row_norms = None
 
     def add_batch(self, descriptions: Sequence[ScenarioDescription]
                   ) -> List[int]:
@@ -100,14 +110,27 @@ class RetrievalIndex:
     def __len__(self) -> int:
         return len(self._ids)
 
+    def _stacked(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The stacked embedding matrix and its row norms, cached.
+
+        Rebuilt lazily after an append invalidates it — repeated
+        queries over an unchanged index reuse one allocation instead of
+        re-stacking every vector per query (which made
+        ``retrieval_metrics``' query-per-clip loop quadratic).
+        """
+        if self._matrix is None:
+            self._matrix = np.stack(self._vectors)
+            self._row_norms = np.linalg.norm(self._matrix, axis=1)
+        return self._matrix, self._row_norms
+
     def query(self, description: ScenarioDescription,
               top_k: int = 5) -> List[int]:
         """Clip ids ranked by similarity to the query description."""
         if not self._ids:
             raise RuntimeError("empty retrieval index")
-        matrix = np.stack(self._vectors)
+        matrix, row_norms = self._stacked()
         q = sdl_vector(description)
-        norms = np.linalg.norm(matrix, axis=1) * max(np.linalg.norm(q), 1e-9)
+        norms = row_norms * max(np.linalg.norm(q), 1e-9)
         scores = matrix @ q / np.maximum(norms, 1e-9)
         return [self._ids[i] for i in topk_indices(scores, top_k)]
 

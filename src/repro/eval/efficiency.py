@@ -532,6 +532,76 @@ def sliding_reuse_profile(model: Module, video_frames: int = 192,
     }
 
 
+def fleet_scaling(model: Module, corpus_sizes=(8, 16, 32),
+                  shard_size: int = 8, top_k: int = 5,
+                  seed: int = 0) -> Dict[int, Dict[str, object]]:
+    """Out-of-core mining cost as a function of corpus size.
+
+    For each corpus size, materialises a sharded on-disk corpus
+    (:func:`~repro.core.fleet.write_corpus`), times the shard-by-shard
+    extraction pass (:func:`~repro.core.fleet.extract_corpus`), a
+    resumed re-run of the same pass (pure skip — the resumability cost
+    floor), and a query through the memory-mapped
+    :class:`~repro.core.fleet.FleetIndex`, and checks the fleet top-k
+    against the in-memory :class:`~repro.core.mining.ScenarioMiner` on
+    the same clips.  The interesting shape: extraction scales linearly
+    with corpus size while the resumed pass and per-query cost stay
+    near-flat — the curve behind the "corpus never needs to fit in
+    memory" claim of ``docs/mining.md``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core import fleet
+    from repro.core.mining import ScenarioMiner
+    from repro.core.pipeline import ScenarioExtractor
+    from repro.sdl.description import ScenarioDescription
+
+    cfg: ModelConfig = model.config
+    rng = np.random.default_rng(seed)
+    extractor = ScenarioExtractor(model)
+    query = ScenarioDescription(scene="intersection",
+                                ego_action="turn-left",
+                                actors=frozenset({"pedestrian"}),
+                                actor_actions=frozenset({"crossing"}))
+    curve: Dict[int, Dict[str, object]] = {}
+    for size in corpus_sizes:
+        clips = rng.random(
+            (int(size), cfg.frames, cfg.channels, cfg.height, cfg.width)
+        ).astype(np.float32)
+        tmp = tempfile.mkdtemp(prefix="repro-fleet-scaling-")
+        try:
+            fleet.write_corpus(clips, tmp, shard_size=shard_size)
+            start = time.perf_counter()
+            stats = fleet.extract_corpus(extractor, tmp)
+            extract_s = time.perf_counter() - start
+            start = time.perf_counter()
+            resumed = fleet.extract_corpus(extractor, tmp)
+            resume_s = time.perf_counter() - start
+            index = fleet.FleetIndex.open(tmp, extractor)
+            start = time.perf_counter()
+            fleet_hits = index.query(query, top_k=top_k)
+            query_s = time.perf_counter() - start
+            miner = ScenarioMiner(extractor)
+            miner.index(clips)
+            memory_hits = miner.query(query, top_k=top_k)
+            curve[int(size)] = {
+                "shards": stats.shards,
+                "extract_s": extract_s,
+                "extract_clips_per_s": (size / extract_s
+                                        if extract_s else 0.0),
+                "resume_s": resume_s,
+                "resume_shards_skipped": resumed.shards_skipped,
+                "query_ms": query_s * 1000.0,
+                "parity": ([(h.clip_id, h.score) for h in fleet_hits]
+                           == [(h.clip_id, h.score)
+                               for h in memory_hits]),
+            }
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return curve
+
+
 def quantized_accuracy_delta(model: Module, dataset,
                              threshold: float = 0.5,
                              precisions=("fp16", "int8"),

@@ -90,7 +90,7 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
     def _worker_stats(rank) -> Dict[str, object]:
         return per_worker.setdefault(int(rank), {
             "routed": 0, "statuses": _Counter(), "shed": 0,
-            "drains": 0, "reloads": 0, "dead": False,
+            "drains": 0, "reloads": 0, "restarts": 0, "dead": False,
         })
 
     for record in records:
@@ -142,6 +142,10 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
             _worker_stats(record.get("worker", 0))["reloads"] += 1
         elif event == "worker_dead":
             _worker_stats(record.get("worker", 0))["dead"] = True
+        elif event == "worker_restart":
+            stats = _worker_stats(record.get("worker", 0))
+            stats["restarts"] += 1
+            stats["dead"] = False
         elif event == "pool_start":
             pool_workers = record.get("workers")
         elif event == "quality_window":
@@ -424,6 +428,8 @@ def render(snapshot: Dict[str, object]) -> str:
                 flags = []
                 if stats.get("reloads"):
                     flags.append(f"reloads {stats['reloads']}")
+                if stats.get("restarts"):
+                    flags.append(f"restarts {stats['restarts']}")
                 if stats.get("dead"):
                     flags.append("DEAD")
                 lines.append(

@@ -32,10 +32,16 @@ suite runs against both).  What changes at the pool level:
   panel), and feeds the SLO tracker and quality monitor from re-stamped
   worker results.
 
-Workers that die are failed static: their in-flight requests resolve as
-``"error"`` and later requests routed to their shard are refused with an
-``"error"`` result (restart the pool to recover).  See
-``docs/serving.md`` for architecture and sizing guidance.
+Workers that die resolve their in-flight requests as ``"error"`` and
+are then **auto-restarted** (bounded by ``max_worker_restarts`` per
+rank): a fresh process is spawned with the same rank and world size, so
+it re-attaches the exact ``shard-RR-of-WW/`` cache directory its
+predecessor populated — recovered shards keep their cache hits.  The
+window between death and recovery fails static (requests for the shard
+are refused with ``"error"``); a rank that exhausts its restart budget
+stays down until the pool restarts.  Each recovery emits a
+``worker_restart`` event.  See ``docs/serving.md`` for architecture and
+sizing guidance.
 """
 
 from __future__ import annotations
@@ -137,9 +143,12 @@ class ServicePool:
                                          QualityMonitor]] = None,
                  precision: str = "fp32",
                  start_timeout_s: float = 60.0,
-                 drain_timeout_s: float = 30.0) -> None:
+                 drain_timeout_s: float = 30.0,
+                 max_worker_restarts: int = 2) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
         if isinstance(extractor, Module):
             extractor = ScenarioExtractor(extractor, precision=precision)
         self.config = config or ServiceConfig()
@@ -172,6 +181,10 @@ class ServicePool:
             self.quality = None
         self._start_timeout_s = start_timeout_s
         self._drain_timeout_s = drain_timeout_s
+        self.max_worker_restarts = max_worker_restarts
+        self._restarts: List[int] = [0] * workers
+        self._restarting: set = set()
+        self._pool_ready = False
         self._prev_active_events: Optional[EventLog] = None
 
         self._mp = _mp_context()
@@ -219,6 +232,8 @@ class ServicePool:
             self._up.clear()
             self._stopped_acks.clear()
             self._dead.clear()
+            self._restarts = [0] * self.world_size
+            self._restarting.clear()
         self._result_q = self._mp.Queue()
         self._request_qs = [self._mp.Queue()
                             for _ in range(self.world_size)]
@@ -228,22 +243,10 @@ class ServicePool:
         # (workers must not inherit it — their cache events stay local).
         self._procs = []
         for rank in range(self.world_size):
-            spec = WorkerSpec(
-                rank=rank, world_size=self.world_size,
-                model=self._reference.model,
-                codec=self._reference.codec,
-                threshold=self._reference.threshold,
-                batch_size=self._reference.batch_size,
-                precision=getattr(self._reference, "precision", "fp32"),
-                calibration=getattr(self._reference, "calibration", None),
-                config=self.config,
-                fault_spec=self._fault_spec,
-                cache_dir=self._cache_dir,
-                cache_memory=self._cache_memory,
-            )
             proc = self._mp.Process(
                 target=worker_main,
-                args=(spec, self._request_qs[rank], self._result_q),
+                args=(self._worker_spec(rank), self._request_qs[rank],
+                      self._result_q),
                 name=f"repro-pool-worker-{rank}", daemon=True)
             proc.start()
             self._procs.append(proc)
@@ -272,8 +275,32 @@ class ServicePool:
                            f"within {self._start_timeout_s:g}s")
             raise RuntimeError(f"pool failed to start ({detail})")
         self._workers_gauge.set(float(self.world_size))
+        with self._cond:
+            self._pool_ready = True
         self._emit("pool_start", workers=self.world_size)
         return self
+
+    def _worker_spec(self, rank: int) -> WorkerSpec:
+        """The spec a (re)spawn of ``rank`` boots from.
+
+        Built from the *current* reference extractor — a worker
+        restarted after a hot reload comes back on the reloaded model —
+        and the same rank/world_size, so it re-opens the identical
+        ``shard-RR-of-WW/`` cache directory its predecessor used.
+        """
+        return WorkerSpec(
+            rank=rank, world_size=self.world_size,
+            model=self._reference.model,
+            codec=self._reference.codec,
+            threshold=self._reference.threshold,
+            batch_size=self._reference.batch_size,
+            precision=getattr(self._reference, "precision", "fp32"),
+            calibration=getattr(self._reference, "calibration", None),
+            config=self.config,
+            fault_spec=self._fault_spec,
+            cache_dir=self._cache_dir,
+            cache_memory=self._cache_memory,
+        )
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop every worker and the collector.
@@ -286,6 +313,7 @@ class ServicePool:
             if not self._running:
                 return
             self._running = False
+            self._pool_ready = False
             buffered = [r for pending in self._pending for r in pending]
             for pending in self._pending:
                 pending.clear()
@@ -738,7 +766,9 @@ class ServicePool:
                     rank, f"worker exited with code {proc.exitcode}")
 
     def _mark_dead(self, rank: int, message: str) -> None:
-        """Fail-static: resolve the rank's in-flight work as errors."""
+        """Resolve the rank's in-flight work as errors, then schedule a
+        bounded auto-restart (requests arriving before the replacement
+        comes up still fail static)."""
         with self._cond:
             if rank in self._dead:
                 return
@@ -752,11 +782,80 @@ class ServicePool:
             buffered = self._pending[rank]
             self._pending[rank] = []
             self._outstanding[rank] = 0
+            # Restart only once the pool has fully started (a rank that
+            # dies during the start handshake keeps fail-to-start
+            # semantics) and while the per-rank budget lasts.
+            restart = (self._running and self._pool_ready
+                       and rank not in self._restarting
+                       and self._restarts[rank] < self.max_worker_restarts)
+            if restart:
+                self._restarting.add(rank)
+                self._restarts[rank] += 1
+                attempt = self._restarts[rank]
             self._cond.notify_all()
         self._emit("worker_dead", worker=rank, error=message)
         for request in orphans + buffered:
             self._finish(request, self._make_result(
                 request, "error", error=f"worker {rank} died ({message})"))
+        if restart:
+            threading.Thread(
+                target=self._restart_rank, args=(rank, attempt),
+                name=f"repro-pool-restart-{rank}", daemon=True).start()
+
+    def _restart_rank(self, rank: int, attempt: int) -> None:
+        """Spawn a replacement worker for a dead rank.
+
+        The replacement boots from :meth:`_worker_spec` with the same
+        rank and world size, so it re-attaches the predecessor's
+        ``shard-RR-of-WW/`` cache directory — warm entries survive the
+        crash.  On a successful ``up`` handshake the rank is removed
+        from the dead set and a ``worker_restart`` event is emitted; if
+        the replacement never comes up, the rank stays failed static.
+        """
+        try:
+            with self._cond:
+                if not self._running:
+                    return
+                self._up.discard(rank)
+                request_q = self._mp.Queue()
+                old_q = self._request_qs[rank]
+                self._request_qs[rank] = request_q
+                proc = self._mp.Process(
+                    target=worker_main,
+                    args=(self._worker_spec(rank), request_q,
+                          self._result_q),
+                    name=f"repro-pool-worker-{rank}", daemon=True)
+                self._procs[rank] = proc
+            proc.start()
+            try:
+                old_q.close()
+                old_q.cancel_join_thread()
+            except Exception:
+                pass
+            deadline = time.monotonic() + self._start_timeout_s
+            with self._cond:
+                while (self._running and rank not in self._up):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(min(remaining, 0.2))
+                recovered = self._running and rank in self._up
+                if recovered:
+                    self._dead.pop(rank, None)
+                    self._outstanding[rank] = 0
+                    self._cond.notify_all()
+                elif not self._running and proc.is_alive():
+                    proc.terminate()
+            if recovered:
+                metrics.counter("serve.pool.worker_restarts").inc()
+                self._emit("worker_restart", worker=rank,
+                           attempt=attempt,
+                           restarts_remaining=(self.max_worker_restarts
+                                               - attempt))
+        finally:
+            with self._cond:
+                self._restarting.discard(rank)
+                self._cond.notify_all()
 
     # -- accounting ----------------------------------------------------
     def _emit(self, event: str, request: Optional[_Request] = None,

@@ -233,3 +233,106 @@ class TestRetrieval:
         assert index.query(descs[2], top_k=1) == [2]
         metrics = retrieval_metrics(descs, index, [0, 1, 2], ks=(1,))
         assert metrics["recall@1"] == 1.0
+
+
+class CountingId(int):
+    """Int whose equality comparisons are tallied — detects the old
+    list-scan membership check, which compared each new id against
+    every id already indexed."""
+
+    eq_calls = 0
+
+    def __eq__(self, other):
+        CountingId.eq_calls += 1
+        return int(self) == other
+
+    __hash__ = int.__hash__
+
+
+class TestIndexRegressions:
+    """Pins for the O(N) indexing and cached-matrix query fixes."""
+
+    def _desc(self, i):
+        scenes = ("straight-road", "intersection")
+        actions = ("stop", "turn-left", "drive-straight", "decelerate")
+        return ScenarioDescription(scene=scenes[i % 2],
+                                   ego_action=actions[(i // 2) % 4])
+
+    def test_add_membership_check_is_not_quadratic(self):
+        """Regression: ``RetrievalIndex.add`` scanned the id list per
+        insert, so 10k adds cost ~50M comparisons.  The id-set check
+        should need vanishingly few."""
+        index = RetrievalIndex()
+        CountingId.eq_calls = 0
+        for i in range(10_000):
+            index.add(CountingId(i), self._desc(i))
+        assert len(index) == 10_000
+        # A list scan would make ~50,000,000 __eq__ calls here; the
+        # hash-set membership check makes essentially none.
+        assert CountingId.eq_calls < 40_000
+        with pytest.raises(ValueError):
+            index.add(CountingId(5), self._desc(5))
+
+    def test_retrieval_cached_matrix_ranking_identical(self):
+        """The cached stacked matrix must rank bit-identically to
+        re-stacking per query (the old behaviour)."""
+        from repro.core.retrieval import topk_indices
+        from repro.sdl import sdl_vector
+
+        descs = [self._desc(i) for i in range(24)]
+        index = RetrievalIndex()
+        index.add_batch(descs)
+        for qi in (0, 5, 11):
+            q = sdl_vector(descs[qi])
+            matrix = np.stack([sdl_vector(d) for d in descs])
+            norms = (np.linalg.norm(matrix, axis=1)
+                     * max(np.linalg.norm(q), 1e-9))
+            scores = matrix @ q / np.maximum(norms, 1e-9)
+            expected = list(topk_indices(scores, 24))
+            assert index.query(descs[qi], top_k=24) == expected
+
+    def test_retrieval_matrix_reused_then_invalidated(self):
+        index = RetrievalIndex()
+        index.add_batch([self._desc(i) for i in range(6)])
+        index.query(self._desc(0), top_k=3)
+        matrix = index._matrix
+        assert matrix is not None
+        index.query(self._desc(1), top_k=3)
+        assert index._matrix is matrix  # reused, not re-stacked
+        index.add_batch([self._desc(6)])
+        assert index._matrix is None  # append invalidates
+        index.query(self._desc(0), top_k=3)
+        assert index._matrix.shape[0] == 7
+
+    def test_miner_cached_scores_bit_identical(self, trained_extractor):
+        from repro.sdl import sdl_vector
+
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index_descriptions(dataset.descriptions)
+        query = dataset.descriptions[0]
+        q = sdl_vector(query)
+        matrix = np.stack([sdl_vector(d) for d in dataset.descriptions])
+        denom = np.linalg.norm(matrix, axis=1) * np.linalg.norm(q)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            naive = np.where(denom == 0.0, 0.0, matrix @ q / denom)
+        naive = np.clip(naive, 0.0, 1.0)
+        first = miner._scores(query)
+        again = miner._scores(query)  # served from the cached matrix
+        assert np.array_equal(first, naive)
+        assert np.array_equal(again, naive)
+
+    def test_miner_matrix_invalidated_on_append_and_reindex(
+            self, trained_extractor):
+        extractor, dataset = trained_extractor
+        miner = ScenarioMiner(extractor)
+        miner.index_descriptions(dataset.descriptions[:8])
+        miner.query(dataset.descriptions[0], top_k=2)
+        matrix = miner._matrix
+        miner.query(dataset.descriptions[1], top_k=2)
+        assert miner._matrix is matrix
+        miner.add_descriptions(dataset.descriptions[8:10])
+        assert miner._matrix is None
+        assert len(miner._scores(dataset.descriptions[0])) == 10
+        miner.index_descriptions(dataset.descriptions[:4])
+        assert len(miner._scores(dataset.descriptions[0])) == 4

@@ -68,6 +68,56 @@ class TestExport:
             f.write("\n\n")
         assert len(load_corpus(path)) == 2
 
+    def test_chunked_export_matches_one_shot(self, corpus_setup,
+                                             tmp_path):
+        extractor, dataset = corpus_setup
+        one = str(tmp_path / "one.jsonl")
+        chunked = str(tmp_path / "chunked.jsonl")
+        export_corpus(extractor, dataset.videos, one,
+                      families=dataset.families)
+        export_corpus(extractor, dataset.videos, chunked,
+                      families=dataset.families, chunk_size=3)
+        assert load_corpus(chunked) == load_corpus(one)
+
+    def test_crash_mid_export_preserves_previous_file(self, corpus_setup,
+                                                      tmp_path,
+                                                      monkeypatch):
+        extractor, dataset = corpus_setup
+        path = str(tmp_path / "corpus.jsonl")
+        export_corpus(extractor, dataset.videos[:4], path)
+        before = load_corpus(path)
+
+        real = extractor.extract_batch
+        calls = {"n": 0}
+
+        def crash_on_second(clips, batch_size=None):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("simulated export crash")
+            return real(clips, batch_size=batch_size)
+
+        monkeypatch.setattr(extractor, "extract_batch", crash_on_second)
+        with pytest.raises(RuntimeError, match="export crash"):
+            export_corpus(extractor, dataset.videos, path, chunk_size=3)
+        # The interrupted run never truncated the published file and
+        # left no partial temp file behind.
+        assert load_corpus(path) == before
+        assert not (tmp_path / "corpus.jsonl.tmp").exists()
+
+    def test_failed_first_export_leaves_nothing(self, corpus_setup,
+                                                tmp_path, monkeypatch):
+        extractor, dataset = corpus_setup
+        path = str(tmp_path / "fresh.jsonl")
+
+        def always_crash(clips, batch_size=None):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(extractor, "extract_batch", always_crash)
+        with pytest.raises(RuntimeError):
+            export_corpus(extractor, dataset.videos, path, chunk_size=2)
+        assert not (tmp_path / "fresh.jsonl").exists()
+        assert not (tmp_path / "fresh.jsonl.tmp").exists()
+
 
 class TestAttentionPooling:
     def test_config_validates_pool(self):

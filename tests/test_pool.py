@@ -461,6 +461,95 @@ class TestRollingReload:
         assert drains == [0, 1]
 
 
+class TestWorkerRestart:
+    """Regression for the fail-static-forever bug: a rank whose process
+    dies is auto-restarted (bounded) and re-attaches its shard cache."""
+
+    @staticmethod
+    def _wait_for(predicate, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.05)
+        return predicate()
+
+    def test_killed_rank_restarts_with_warm_shard_cache(self, extractor,
+                                                        clips, tmp_path):
+        events = EventLog()
+        cache_root = str(tmp_path / "cache")
+        config = ServiceConfig(max_batch=4, max_wait_s=0.01)
+        with ServicePool(extractor, config, workers=2, cache=cache_root,
+                         events=events) as pool:
+            warm = ServiceClient(pool).extract_many(list(clips[:12]),
+                                                    concurrency=8)
+            assert all(r.status == "ok" for r in warm)
+            assert not any(r.cached for r in warm)
+            victim = 1
+            pool._procs[victim].terminate()
+            # The monitor marks the rank dead, then the restart thread
+            # brings a replacement up on the same shard.
+            assert self._wait_for(
+                lambda: any(r["event"] == "worker_restart"
+                            for r in events.read()))
+            assert self._wait_for(pool.ready)
+            again = ServiceClient(pool).extract_many(list(clips[:12]),
+                                                     concurrency=8)
+            # Bit-wise identical answers, all served from the shard
+            # stores — the replacement re-attached its predecessor's
+            # cache directory, so the crash cost zero recomputation.
+            assert all(r.status == "ok" and r.cached for r in again)
+            assert [_result_key(r.result) for r in again] \
+                == [_result_key(r.result) for r in warm]
+        names = [r["event"] for r in events.read()]
+        assert "worker_dead" in names
+        restarts = [r for r in events.read()
+                    if r["event"] == "worker_restart"]
+        assert restarts and restarts[0]["worker"] == victim
+        assert restarts[0]["attempt"] == 1
+
+    def test_restart_budget_zero_stays_failed_static(self, extractor,
+                                                     clips):
+        events = EventLog()
+        with ServicePool(extractor, workers=2, max_worker_restarts=0,
+                         events=events) as pool:
+            ok = pool.extract(clips[0], timeout=10.0)
+            assert ok.status == "ok"
+            victim = 0
+            pool._procs[victim].terminate()
+            assert self._wait_for(
+                lambda: any(r["event"] == "worker_dead"
+                            for r in events.read()))
+            # No restart budget: the rank must stay dead (fail static).
+            assert not self._wait_for(pool.ready, timeout=1.0)
+            routed_dead = [c for c in clips[:8]
+                           if shard_of(clip_content_hash(c), 2) == victim]
+            result = pool.extract(routed_dead[0], timeout=10.0)
+            assert result.status == "error"
+            assert "worker 0 is down" in result.error
+        assert not any(r["event"] == "worker_restart"
+                       for r in events.read())
+
+    def test_restart_budget_validated(self, extractor):
+        with pytest.raises(ValueError, match="max_worker_restarts"):
+            ServicePool(extractor, workers=2, max_worker_restarts=-1)
+
+    def test_health_reports_restarted_rank_reachable(self, extractor,
+                                                     clips):
+        events = EventLog()
+        with ServicePool(extractor, workers=2, events=events) as pool:
+            assert pool.extract(clips[0], timeout=10.0).status == "ok"
+            pool._procs[0].terminate()
+            assert self._wait_for(
+                lambda: any(r["event"] == "worker_restart"
+                            for r in events.read()))
+            assert self._wait_for(pool.ready)
+            health = pool.health()
+            statuses = {rank: doc["status"]
+                        for rank, doc in health["workers"].items()}
+            assert statuses == {"0": "ok", "1": "ok"}
+
+
 class TestPoolBurstAccounting:
     """The pool variant of the fault-burst acceptance: a concurrent
     burst under injected faults completes with zero silent failures and
