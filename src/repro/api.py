@@ -244,6 +244,8 @@ def mine_corpus(source: ExtractorSource,
                 top_k: int = 5, min_score: float = 0.0,
                 store_dir: Optional[str] = None,
                 cache: CacheLike = None,
+                heartbeat_s: float = 5.0,
+                on_progress=None,
                 **tags) -> Tuple[List[MiningHit], FleetStats]:
     """Out-of-core :func:`mine` over a sharded corpus directory.
 
@@ -254,13 +256,17 @@ def mine_corpus(source: ExtractorSource,
     same clips.  Re-running skips every already-persisted shard, so an
     interrupted run resumes with zero repeat forward passes.  Returns
     ``(hits, stats)`` where ``stats`` reports shards scanned / skipped
-    / extracted (see ``docs/mining.md``).
+    / extracted.  ``fleet_progress`` heartbeats (event log, the
+    store's telemetry ring, ``on_progress``) fire every
+    ``heartbeat_s`` seconds (see ``docs/mining.md``).
     """
     extractor = _as_extractor(source)
     return _fleet_mine_corpus(extractor, os.fspath(corpus_dir),
                               query=query, top_k=top_k,
                               min_score=min_score, store_dir=store_dir,
-                              cache=_as_cache(cache, None), **tags)
+                              cache=_as_cache(cache, None),
+                              heartbeat_s=heartbeat_s,
+                              on_progress=on_progress, **tags)
 
 
 def retrieve(source: ExtractorSource, clips: np.ndarray,

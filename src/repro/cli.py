@@ -251,14 +251,41 @@ def _mine_fleet(args) -> int:
     vectors and are bit-identical to in-memory mining over the same
     clips (see ``docs/mining.md``).
     """
+    import os
+
     from repro.core import fleet
     from repro.core.cache import ExtractionCache
+    from repro.obs import events as obs_events
+    from repro.obs.events import EventLog
 
     shape = fleet.corpus_clip_shape(args.corpus_dir)
     model = _load_model(args, shape[0])
     extractor = ScenarioExtractor(model, precision=args.precision)
     cache = ExtractionCache(args.cache_dir or None)
-    stats = fleet.extract_corpus(extractor, args.corpus_dir, cache=cache)
+    events = None
+    previous_events = None
+    if getattr(args, "events_dir", ""):
+        events = EventLog(args.events_dir)
+        previous_events = obs_events.set_active(events)
+
+    def _progress(progress: dict) -> None:
+        eta = progress["eta_s"]
+        line = (f"fleet {progress['shards_done']}/"
+                f"{progress['shards_total']} shards  "
+                f"{progress['clips_done']} clips  "
+                f"{progress['clips_per_s']:.1f} clips/s"
+                + (f"  eta {eta:.0f}s" if eta is not None else ""))
+        end = "\n" if progress["final"] else "\r"
+        print("\r" + line + (" [done]" if progress["final"] else ""),
+              end=end, file=sys.stderr, flush=True)
+
+    try:
+        stats = fleet.extract_corpus(
+            extractor, args.corpus_dir, cache=cache,
+            heartbeat_s=args.heartbeat_interval, on_progress=_progress)
+    finally:
+        if events is not None:
+            obs_events.set_active(previous_events)
     index = fleet.FleetIndex.open(args.corpus_dir, extractor)
     tags = _mine_tags(args)
     hits = (index.query_tags(top_k=args.top_k, min_score=args.min_score,
@@ -268,6 +295,9 @@ def _mine_fleet(args) -> int:
         "clips": len(index),
         "records_path": None,
         "fleet": stats.to_dict(),
+        "telemetry_ring": os.path.join(stats.store_root,
+                                       fleet.TELEMETRY_FILE),
+        "events_dir": args.events_dir or None,
         "cache": cache.stats(),
         "extracted_clips": stats.clips_extracted,
         "top_criticality": fleet.top_criticality(index, args.top),
@@ -404,7 +434,7 @@ def cmd_serve(args) -> int:
 
     import numpy as np
 
-    from repro.obs import metrics, render_prometheus
+    from repro.obs import metrics, write_prometheus
     from repro.obs.drift import DriftConfig
     from repro.obs.events import EventLog
     from repro.obs.slo import SLOConfig
@@ -469,7 +499,11 @@ def cmd_serve(args) -> int:
         service = ServicePool(extractor, config, workers=args.workers,
                               fault_injector=injector,
                               cache=(args.cache_dir or None),
-                              events=events, slo=slo, quality=quality)
+                              events=events, slo=slo, quality=quality,
+                              telemetry_interval_s=(
+                                  args.telemetry_interval
+                                  if args.telemetry_interval > 0
+                                  else None))
     else:
         if args.cache_dir:
             from repro.core.cache import ExtractionCache
@@ -493,6 +527,21 @@ def cmd_serve(args) -> int:
             for i, clip in enumerate(clips)
         ]
     canary_summary = None
+    prom_stop = None
+    if args.prometheus_out:
+        # Periodic atomic exposition (tmp + os.replace): a crash
+        # mid-burst leaves the last complete scrape on disk, never a
+        # truncated file.
+        import threading
+
+        prom_stop = threading.Event()
+
+        def _prom_loop() -> None:
+            while not prom_stop.wait(1.0):
+                write_prometheus(args.prometheus_out, metrics)
+
+        threading.Thread(target=_prom_loop, name="repro-prom-writer",
+                         daemon=True).start()
     with service:
         client = ServiceClient(service)
         start = time.perf_counter()
@@ -587,9 +636,8 @@ def cmd_serve(args) -> int:
         print(f"wrote {n} metric series to {args.metrics_out}",
               file=sys.stderr)
     if args.prometheus_out:
-        text = render_prometheus(metrics)
-        with open(args.prometheus_out, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        prom_stop.set()
+        write_prometheus(args.prometheus_out, metrics)
         print(f"wrote Prometheus exposition to {args.prometheus_out}",
               file=sys.stderr)
     if events is not None:
@@ -801,11 +849,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault injection: probability of a spike")
     serve.add_argument("--json", action="store_true",
                        help="print a JSON summary instead of text")
+    serve.add_argument("--telemetry-interval", type=float, default=0.25,
+                       help="pool worker telemetry cadence in seconds "
+                            "(metric deltas + internal events shipped "
+                            "to the parent); <= 0 disables")
     serve.add_argument("--metrics-out", default="",
                        help="also export the metrics registry as JSONL")
     serve.add_argument("--prometheus-out", default="",
                        help="also export the metrics registry in "
-                            "Prometheus text format")
+                            "Prometheus text format (written "
+                            "periodically and atomically during the "
+                            "burst)")
     serve.add_argument("--events-dir", default="",
                        help="record request lifecycle events to this "
                             "directory (read back with `repro top`)")
@@ -921,6 +975,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persistent extraction cache directory; "
                           "re-runs over cached clips skip the model "
                           "forward pass entirely")
+    mine.add_argument("--events-dir", default="",
+                      help="with --corpus-dir: record fleet_progress "
+                           "heartbeat events to this directory (read "
+                           "back with `repro top --from-events`)")
+    mine.add_argument("--heartbeat-interval", type=float, default=5.0,
+                      help="with --corpus-dir: wall-clock seconds "
+                           "between fleet_progress heartbeats")
     mine.add_argument("--scene", default="",
                       help="tag query: scene")
     mine.add_argument("--ego-action", default="",

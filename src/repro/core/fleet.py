@@ -44,15 +44,33 @@ to the global top-k).
 Counters (``repro.obs``): ``fleet.shards_scanned`` /
 ``fleet.shards_skipped`` / ``fleet.shards_extracted`` /
 ``fleet.clips_extracted`` and the ``fleet.vectors_mapped`` gauge.
-See ``docs/mining.md``.
+
+Long passes are no longer a black box between shards: on a wall-clock
+cadence (``heartbeat_s``) :func:`extract_corpus` emits
+``fleet_progress`` events through the active event log (shards/clips
+done, forward passes, throughput, ETA), appends the same progress plus
+a ``fleet.*`` registry snapshot to a bounded ``repro.telemetry/v1``
+JSONL ring (``telemetry.jsonl`` in the fingerprint store), and invokes
+an optional ``on_progress`` callback — the hooks behind the
+``repro top --from-events`` fleet panel and the ``repro mine
+--corpus-dir`` live progress line.  See ``docs/mining.md``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -66,6 +84,8 @@ from repro.core.mining import MiningHit
 from repro.core.pipeline import ScenarioExtractor
 from repro.core.retrieval import topk_indices
 from repro.obs import get_logger, metrics
+from repro.obs import events as obs_events
+from repro.obs.telemetry import SnapshotRing
 from repro.sdl.description import ScenarioDescription
 from repro.sdl.similarity import sdl_vector
 
@@ -74,6 +94,9 @@ FLEET_FORMAT = "repro.fleet/v1"
 
 #: Manifest file name inside a fingerprint store directory.
 MANIFEST_FILE = "manifest.json"
+
+#: Telemetry snapshot ring file name inside a fingerprint store.
+TELEMETRY_FILE = "telemetry.jsonl"
 
 #: Default store root inside a corpus directory.
 DEFAULT_STORE_DIR = "_fleet"
@@ -281,10 +304,80 @@ class FleetStats:
         }
 
 
+class _FleetHeartbeat:
+    """Wall-clock progress heartbeats of one extraction pass.
+
+    Every beat does three things with one progress document:
+    ``fleet_progress`` through the active event log (the ``repro top
+    --from-events`` fleet panel), an append to the store's
+    ``repro.telemetry/v1`` snapshot ring (progress + the ``fleet.*``
+    slice of the registry), and the ``on_progress`` callback (the CLI
+    live line).  Beats fire at most every ``interval_s`` — except the
+    final one, which always fires so even a sub-interval pass leaves a
+    complete progress trail.
+    """
+
+    def __init__(self, store: FleetStore, interval_s: float,
+                 on_progress: Optional[Callable[[dict], None]]) -> None:
+        self.interval_s = float(interval_s)
+        self.on_progress = on_progress
+        self._ring: Optional[SnapshotRing] = None
+        self._store = store
+        self._started = time.monotonic()
+        self._next_beat = self._started + self.interval_s
+
+    def beat(self, stats: FleetStats, shards_total: int,
+             forwards: int, final: bool = False) -> Optional[dict]:
+        now = time.monotonic()
+        if not final and now < self._next_beat:
+            return None
+        self._next_beat = now + self.interval_s
+        elapsed = max(now - self._started, 1e-9)
+        done = stats.shards_skipped + stats.shards_extracted
+        throughput = stats.clips_extracted / elapsed
+        eta_s = ((shards_total - done) * (elapsed / done)
+                 if done else None)
+        progress = {
+            "fingerprint": stats.fingerprint,
+            "shards_done": done,
+            "shards_total": shards_total,
+            "shards_skipped": stats.shards_skipped,
+            "shards_extracted": stats.shards_extracted,
+            "clips_done": stats.clips,
+            "clips_extracted": stats.clips_extracted,
+            "forwards": forwards,
+            "elapsed_s": elapsed,
+            "clips_per_s": throughput,
+            "eta_s": eta_s,
+            "final": final,
+        }
+        obs_events.emit("fleet_progress", **progress)
+        try:
+            if self._ring is None:
+                os.makedirs(self._store.root, exist_ok=True)
+                self._ring = SnapshotRing(os.path.join(
+                    self._store.root, TELEMETRY_FILE))
+            self._ring.append({
+                "kind": "fleet_progress", "ts": time.time(),
+                "progress": progress,
+                "metrics": [row for row in metrics.snapshot()
+                            if row["name"].startswith("fleet.")],
+            })
+        except OSError:  # progress telemetry never fails the pass
+            _logger.warning("fleet telemetry ring write failed",
+                            exc_info=True)
+        if self.on_progress is not None:
+            self.on_progress(progress)
+        return progress
+
+
 def extract_corpus(extractor: ScenarioExtractor, corpus_dir: str,
                    store_dir: Optional[str] = None,
                    cache: Optional[ExtractionCache] = None,
-                   batch_size: Optional[int] = None) -> FleetStats:
+                   batch_size: Optional[int] = None,
+                   heartbeat_s: float = 5.0,
+                   on_progress: Optional[Callable[[dict], None]] = None,
+                   ) -> FleetStats:
     """Walk the corpus shard by shard, extracting what isn't persisted.
 
     One shard's clips are materialised in memory at a time; a shard
@@ -294,13 +387,23 @@ def extract_corpus(extractor: ScenarioExtractor, corpus_dir: str,
     The manifest is (re)written at the end of every pass, so a pass
     that completes always leaves a queryable store.  Returns the pass
     accounting; raising mid-pass loses at most the shard in flight.
+
+    Progress heartbeats (``fleet_progress`` events, the store's
+    telemetry ring, ``on_progress``) fire at most every
+    ``heartbeat_s`` seconds plus once at the end — see
+    :class:`_FleetHeartbeat`.
     """
+    if heartbeat_s <= 0:
+        raise ValueError("heartbeat_s must be positive")
     fingerprint = extraction_fingerprint(extractor)
     store = _resolve_store(corpus_dir, store_dir, fingerprint)
     stats = FleetStats(fingerprint=fingerprint, store_root=store.root)
+    heartbeat = _FleetHeartbeat(store, heartbeat_s, on_progress)
+    shards = corpus_shards(corpus_dir)
     shard_entries = []
     offset = 0
-    for shard in corpus_shards(corpus_dir):
+    forwards = 0
+    for shard in shards:
         paths = shard_clip_paths(corpus_dir, shard)
         if not paths:
             continue
@@ -316,9 +419,12 @@ def extract_corpus(extractor: ScenarioExtractor, corpus_dir: str,
                 clip, family = load_clip(path)
                 clips.append(clip)
                 families.append(family)
+            misses_before = cache.misses if cache is not None else 0
             results = cached_extract_batch(
                 extractor, np.stack(clips), cache,
                 batch_size=batch_size)
+            forwards += (cache.misses - misses_before
+                         if cache is not None else len(paths))
             records = []
             vectors = np.zeros(
                 (len(results), len(sdl_vector(results[0].description))),
@@ -340,6 +446,8 @@ def extract_corpus(extractor: ScenarioExtractor, corpus_dir: str,
         shard_entries.append({"name": shard, "clips": len(paths),
                               "offset": offset})
         offset += len(paths)
+        stats.clips = offset
+        heartbeat.beat(stats, len(shards), forwards)
     stats.clips = offset
     store.write_manifest({
         "schema": FLEET_FORMAT,
@@ -348,6 +456,7 @@ def extract_corpus(extractor: ScenarioExtractor, corpus_dir: str,
         "shards": shard_entries,
         "clips": offset,
     })
+    heartbeat.beat(stats, len(shards), forwards, final=True)
     return stats
 
 
@@ -489,6 +598,8 @@ def mine_corpus(extractor: ScenarioExtractor, corpus_dir: str,
                 top_k: int = 5, min_score: float = 0.0,
                 store_dir: Optional[str] = None,
                 cache: Optional[ExtractionCache] = None,
+                heartbeat_s: float = 5.0,
+                on_progress: Optional[Callable[[dict], None]] = None,
                 **tags) -> Tuple[List[MiningHit], FleetStats]:
     """Extract-or-resume the corpus, then answer one query.
 
@@ -498,7 +609,8 @@ def mine_corpus(extractor: ScenarioExtractor, corpus_dir: str,
     extraction-pass accounting.
     """
     stats = extract_corpus(extractor, corpus_dir, store_dir=store_dir,
-                           cache=cache)
+                           cache=cache, heartbeat_s=heartbeat_s,
+                           on_progress=on_progress)
     index = FleetIndex.open(corpus_dir, extractor, store_dir=store_dir)
     if query is not None:
         if tags:
@@ -516,6 +628,7 @@ __all__ = [
     "DEFAULT_STORE_DIR",
     "FLEET_FORMAT",
     "MANIFEST_FILE",
+    "TELEMETRY_FILE",
     "FleetIndex",
     "FleetStats",
     "FleetStore",

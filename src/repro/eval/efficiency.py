@@ -308,6 +308,63 @@ def observability_overhead(model: Module, requests: int = 32,
     }
 
 
+def telemetry_overhead(model: Module, requests: int = 24,
+                       workers: int = 2, max_batch: int = 8,
+                       max_wait_s: float = 0.002,
+                       telemetry_interval_s: float = 0.25,
+                       seed: int = 0) -> Dict[str, object]:
+    """Pool throughput with the telemetry plane off vs. on.
+
+    Runs the same burst of distinct random clips through a
+    :class:`~repro.serve.pool.ServicePool` twice — once with
+    ``telemetry_interval_s=None`` (workers ship nothing home) and once
+    at the given shipping cadence (workers snapshot their registry,
+    drain their event ring and put ``("telemetry", ...)`` frames on the
+    result queue; the parent merges them under ``worker=<rank>``
+    labels) — and reports both throughputs plus the overhead ratio.
+    A warm-up burst per arm is excluded from timing, mirroring
+    :func:`service_scaling`.  This is the number behind the "shipping
+    worker metrics home is cheap enough to leave on" claim in
+    ``docs/observability.md``; CI gates it below 5%.
+    """
+    from repro.core.pipeline import ScenarioExtractor  # noqa: F401
+    from repro.serve import ServiceClient, ServiceConfig
+    from repro.serve.pool import ServicePool
+
+    cfg: ModelConfig = model.config
+    rng = np.random.default_rng(seed)
+    clips = rng.random(
+        (requests, cfg.frames, cfg.channels, cfg.height, cfg.width)
+    ).astype(np.float32)
+    config = ServiceConfig(max_batch=max_batch, max_wait_s=max_wait_s,
+                           max_queue=max(requests, 1))
+    burst_concurrency = min(requests, 32)
+
+    def run(interval) -> float:
+        with ServicePool(model, config, workers=workers,
+                         telemetry_interval_s=interval) as pool:
+            client = ServiceClient(pool)
+            warm = clips[:min(requests, 4 * workers)]
+            client.extract_many(list(warm),
+                                concurrency=burst_concurrency)
+            start = time.perf_counter()
+            client.extract_many(list(clips),
+                                concurrency=burst_concurrency)
+            return time.perf_counter() - start
+
+    off_elapsed = run(None)
+    on_elapsed = run(telemetry_interval_s)
+    return {
+        "requests": requests,
+        "workers": workers,
+        "telemetry_interval_s": telemetry_interval_s,
+        "off_clips_per_s": requests / off_elapsed,
+        "on_clips_per_s": requests / on_elapsed,
+        "overhead_ratio": (on_elapsed / off_elapsed
+                           if off_elapsed else 0.0),
+    }
+
+
 def cache_reuse_curve(model: Module, corpus_size: int = 12,
                       reuse_fractions=(0.0, 0.5, 1.0),
                       seed: int = 0) -> Dict[float, Dict[str, float]]:

@@ -22,7 +22,11 @@ The subsystem has six pieces (see ``docs/observability.md``):
 - **model quality** (:mod:`repro.obs.quality` +
   :mod:`repro.obs.drift`): per-model-version scorecards, PSI/KL drift
   detection against a pinned reference window, and the shadow canary
-  that gates checkpoint hot-reloads.
+  that gates checkpoint hot-reloads;
+- the **pool telemetry plane** (:mod:`repro.obs.telemetry`): workers
+  ship seq-numbered metric-delta + event frames that the pool parent
+  merges into its registry under ``worker=<rank>`` labels, so one
+  exposition covers every replica.
 
 Everything is **off by default**: :func:`span` is a no-op and the
 autograd ops are the pristine unpatched originals until
@@ -34,11 +38,25 @@ workload under telemetry and reports per-stage latency/throughput.
 
 from __future__ import annotations
 
-from repro.obs import context, events, exposition, instrument, slo, top
+from repro.obs import (
+    context,
+    events,
+    exposition,
+    instrument,
+    slo,
+    telemetry,
+    top,
+)
 from repro.obs.context import RequestContext
 from repro.obs.drift import DriftConfig, DriftDetector, kl_divergence, psi
 from repro.obs.events import EventLog, read_event_log, request_timeline
-from repro.obs.exposition import render_prometheus
+from repro.obs.exposition import render_prometheus, write_prometheus
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    SnapshotRing,
+    TelemetryMerger,
+    TelemetryShipper,
+)
 from repro.obs.logs import (
     ConsoleHandler,
     JsonFormatter,
@@ -103,8 +121,12 @@ __all__ = [
     "RollingQuantile",
     "SLOConfig",
     "SLOTracker",
+    "SnapshotRing",
     "SpanNode",
+    "TELEMETRY_FORMAT",
     "TelemetryHandler",
+    "TelemetryMerger",
+    "TelemetryShipper",
     "context",
     "disable",
     "enable",
@@ -129,7 +151,9 @@ __all__ = [
     "set_console",
     "slo",
     "span",
+    "telemetry",
     "top",
     "trace_dict",
     "traced",
+    "write_prometheus",
 ]

@@ -20,7 +20,9 @@ so a scrape (or the golden-file test) is reproducible byte for byte.
 from __future__ import annotations
 
 import math
+import os
 import re
+import tempfile
 from typing import Dict, List, Optional
 
 from repro.obs.registry import (
@@ -32,7 +34,8 @@ from repro.obs.registry import (
     get_registry,
 )
 
-__all__ = ["render_prometheus", "sanitize_metric_name", "escape_label"]
+__all__ = ["render_prometheus", "write_prometheus",
+           "sanitize_metric_name", "escape_label"]
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
@@ -104,6 +107,31 @@ def render_prometheus(registry: Optional[MetricsRegistry] = None,
             elif isinstance(metric, Histogram):
                 lines.extend(_histogram_lines(base, metric))
     return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(path: str,
+                     registry: Optional[MetricsRegistry] = None,
+                     prefix: str = "") -> str:
+    """Atomically write the exposition to ``path``; returns the text.
+
+    Renders to a temporary file in the target directory and
+    ``os.replace``s it over ``path``, so a scraper (or a crash
+    mid-write) never observes a truncated exposition — the file is
+    always the complete output of some past render.
+    """
+    text = render_prometheus(registry, prefix=prefix)
+    directory = os.path.dirname(os.fspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return text
 
 
 def _histogram_lines(base: str, hist: Histogram) -> List[str]:

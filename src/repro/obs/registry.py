@@ -210,6 +210,98 @@ class MetricsRegistry:
         for metric in self._metrics.values():
             metric.reset()
 
+    # -- cross-process telemetry (see ``repro.obs.telemetry``) ---------
+    def snapshot_delta(self, baseline: Optional[dict] = None):
+        """Change since *baseline* as plain rows, plus a new baseline.
+
+        Returns ``(rows, new_baseline)``.  Counters and histograms ship
+        the *increase* since the baseline (rows with zero change are
+        omitted); gauges ship their current value (omitted only when
+        unchanged and already present in the baseline).  Histogram rows
+        carry cumulative ``min``/``max`` — merging with ``min()`` /
+        ``max()`` stays correct because cumulative extrema only widen.
+
+        ``baseline=None`` means "delta from zero": every live series is
+        emitted in full.  The returned baseline is an opaque dict —
+        pass it back to the next call.  Baselines are process-local
+        bookkeeping; only the rows are meant to cross a process
+        boundary (they are JSON/pickle-safe plain data).
+        """
+        baseline = baseline or {}
+        rows: List[Dict[str, object]] = []
+        new_baseline: Dict[Tuple[str, LabelSet], object] = {}
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            prev = baseline.get(key)
+            if isinstance(metric, Counter):
+                new_baseline[key] = metric.value
+                delta = metric.value - (prev or 0.0)
+                if delta:
+                    rows.append({"kind": "counter", "name": metric.name,
+                                 "labels": dict(metric.labels),
+                                 "delta": delta})
+            elif isinstance(metric, Gauge):
+                new_baseline[key] = metric.value
+                if prev is None or metric.value != prev:
+                    rows.append({"kind": "gauge", "name": metric.name,
+                                 "labels": dict(metric.labels),
+                                 "value": metric.value})
+            else:
+                counts = tuple(metric.bucket_counts)
+                new_baseline[key] = (counts, metric.count, metric.sum)
+                prev_counts, prev_count, prev_sum = \
+                    prev or ((0,) * len(counts), 0, 0.0)
+                if metric.count != prev_count:
+                    rows.append({
+                        "kind": "histogram", "name": metric.name,
+                        "labels": dict(metric.labels),
+                        "bounds": list(metric.bounds),
+                        "bucket_deltas": [n - p for n, p
+                                          in zip(counts, prev_counts)],
+                        "count": metric.count - prev_count,
+                        "sum": metric.sum - prev_sum,
+                        "min": metric.min, "max": metric.max,
+                    })
+        return rows, new_baseline
+
+    def merge_frame(self, rows: Sequence[Dict[str, object]],
+                    **extra_labels) -> int:
+        """Fold :meth:`snapshot_delta` rows into this registry.
+
+        ``extra_labels`` (typically ``worker=<rank>``) are stamped onto
+        every merged series, which keeps shipped series collision-safe
+        with this registry's native ones — a worker's
+        ``serve.cache_hits`` lands as ``serve.cache_hits{worker="1"}``
+        next to (never on top of) the parent's own counter.  Returns
+        the number of rows merged.
+        """
+        merged = 0
+        for row in rows:
+            labels = dict(row["labels"])
+            labels.update({k: str(v) for k, v in extra_labels.items()})
+            kind = row["kind"]
+            if kind == "counter":
+                self.counter(row["name"], **labels).inc(float(row["delta"]))
+            elif kind == "gauge":
+                self.gauge(row["name"], **labels).set(float(row["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(row["name"],
+                                      bounds=tuple(row["bounds"]), **labels)
+                if tuple(hist.bounds) != tuple(row["bounds"]):
+                    raise ValueError(
+                        f"histogram {row['name']!r} bucket bounds differ "
+                        "from the already-registered series")
+                for i, delta in enumerate(row["bucket_deltas"]):
+                    hist.bucket_counts[i] += int(delta)
+                hist.count += int(row["count"])
+                hist.sum += float(row["sum"])
+                hist.min = min(hist.min, float(row["min"]))
+                hist.max = max(hist.max, float(row["max"]))
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+            merged += 1
+        return merged
+
     def clear(self) -> None:
         """Drop all series (cached handles detach from the registry)."""
         with self._lock:

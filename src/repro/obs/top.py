@@ -5,9 +5,14 @@ distribution, circuit-breaker state, cache hit rate, firing SLO
 alerts and — when quality monitoring is on — a quality panel
 (``quality_window`` cadence, drift alerts, canary verdicts).  Pool
 runs (``repro serve --workers N``) add a per-worker panel: routed /
-shed / per-status counts replayed from the ``worker``-stamped events,
-or the live ``repro.health/v1`` pool rollup's worker sub-documents
-(:func:`snapshot_from_service` consumes only that versioned schema).
+shed / per-status counts replayed from the ``worker``-stamped events —
+plus each worker's *internal* cache / flush / forward / breaker
+activity, shipped home by the telemetry plane
+(:mod:`repro.obs.telemetry`) — or the live ``repro.health/v1`` pool
+rollup's worker sub-documents (:func:`snapshot_from_service` consumes
+only that versioned schema).  ``fleet_progress`` heartbeats from
+``extract_corpus`` render as a fleet progress panel (shards / clips /
+throughput / ETA).
 Two sources:
 
 - **a recorded event log** (``--from-events DIR``): the snapshot is
@@ -81,6 +86,9 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
     last_verdict: Optional[Dict[str, object]] = None
     tracker = SLOTracker(slo_config)
     first_mono = last_mono = None
+    fleet_beats = 0
+    fleet_monotone = True
+    fleet_last: Optional[Dict[str, object]] = None
 
     enqueued = set()
     terminals: "_Counter[int]" = _Counter()
@@ -91,7 +99,15 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
         return per_worker.setdefault(int(rank), {
             "routed": 0, "statuses": _Counter(), "shed": 0,
             "drains": 0, "reloads": 0, "restarts": 0, "dead": False,
+            # Worker-internal activity, replayed from events the
+            # telemetry plane shipped home (stamped with ``worker``).
+            "cache_hits": 0, "cache_misses": 0, "flushes": 0,
+            "forwards": 0, "retries": 0, "breaker_trips": 0,
         })
+
+    def _internal(record, key) -> None:
+        if record.get("worker") is not None:
+            _worker_stats(record["worker"])[key] += 1
 
     for record in records:
         mono = record.get("mono")
@@ -111,21 +127,27 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
             batch_sizes.append(float(record.get("batch_size", 0)))
             for member in record.get("request_ids", ()):
                 seen_ids.add(member)
+            _internal(record, "flushes")
         elif event == "cache_hit":
             cache_hits += 1
             tracker.record_cache(True, now=mono)
+            _internal(record, "cache_hits")
         elif event == "cache_miss":
             cache_misses += 1
             tracker.record_cache(False, now=mono)
+            _internal(record, "cache_misses")
         elif event == "retry":
             for member in record.get("request_ids", ()):
                 retried_ids.add(member)
+            _internal(record, "retries")
         elif event == "model_forward":
             model = record.get("model", "primary")
             model_forwards[model] = model_forwards.get(model, 0) + 1
+            _internal(record, "forwards")
         elif event == "breaker_open":
             breaker_state = "open"
             breaker_trips += 1
+            _internal(record, "breaker_trips")
         elif event == "breaker_close":
             breaker_state = "closed"
         elif event == "reload":
@@ -148,6 +170,17 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
             stats["dead"] = False
         elif event == "pool_start":
             pool_workers = record.get("workers")
+        elif event == "fleet_progress":
+            fleet_beats += 1
+            clips_done = record.get("clips_done", 0)
+            if (fleet_last is not None
+                    and clips_done < fleet_last.get("clips_done", 0)):
+                fleet_monotone = False
+            fleet_last = {key: record.get(key) for key in (
+                "fingerprint", "shards_done", "shards_total",
+                "shards_skipped", "shards_extracted", "clips_done",
+                "clips_extracted", "forwards", "elapsed_s",
+                "clips_per_s", "eta_s", "final")}
         elif event == "quality_window":
             quality_windows += 1
             last_window = {
@@ -250,6 +283,10 @@ def snapshot_from_events(source, slo_config: Optional[SLOConfig] = None
         "reloads": reloads,
         "flight_dumps": flight_dumps,
         "pool": pool,
+        "fleet": ({"heartbeats": fleet_beats,
+                   "monotone": fleet_monotone,
+                   "last": fleet_last}
+                  if fleet_beats else None),
         "quality": {
             "windows": quality_windows,
             "last_window": last_window,
@@ -373,6 +410,7 @@ def snapshot_from_service(service,
         "reloads": int(metrics.counter("serve.reloads").value),
         "flight_dumps": 0,
         "pool": pool,
+        "fleet": None,
         "extractor": {
             "precision": health.get("precision", "fp32"),
             "reuse": health.get("reuse"),
@@ -432,9 +470,21 @@ def render(snapshot: Dict[str, object]) -> str:
                     flags.append(f"restarts {stats['restarts']}")
                 if stats.get("dead"):
                     flags.append("DEAD")
+                internals = []
+                if stats.get("cache_hits") or stats.get("cache_misses"):
+                    internals.append(
+                        f"cache {stats['cache_hits']}h/"
+                        f"{stats['cache_misses']}m")
+                if stats.get("forwards"):
+                    internals.append(f"fwd {stats['forwards']}")
+                if stats.get("retries"):
+                    internals.append(f"retries {stats['retries']}")
+                if stats.get("breaker_trips"):
+                    internals.append(f"trips {stats['breaker_trips']}")
                 lines.append(
                     f"    worker {rank}  routed {stats['routed']:4d}  "
                     f"shed {stats['shed']}  {status_text}"
+                    + (f"  {' '.join(internals)}" if internals else "")
                     + (f"  [{', '.join(flags)}]" if flags else ""))
             else:  # live pool health rollup
                 hit_rate = stats.get("cache_hit_rate")
@@ -446,6 +496,21 @@ def render(snapshot: Dict[str, object]) -> str:
                     f"  req {stats.get('requests', 0)}"
                     + (f"  cache {hit_rate:.0%}"
                        if isinstance(hit_rate, (int, float)) else ""))
+    fleet = snapshot.get("fleet")
+    if fleet:
+        last = fleet.get("last") or {}
+        eta = last.get("eta_s")
+        rate = last.get("clips_per_s") or 0.0
+        lines.append(
+            f"  fleet      shards {last.get('shards_done', 0)}/"
+            f"{last.get('shards_total', 0)}  "
+            f"clips {last.get('clips_done', 0)}  "
+            f"forwards {last.get('forwards', 0)}  "
+            f"{rate:.1f} clips/s"
+            + (f"  eta {eta:.0f}s"
+               if isinstance(eta, (int, float)) else "")
+            + ("  [done]" if last.get("final") else "")
+            + ("" if fleet.get("monotone") else "  [NON-MONOTONE]"))
     extractor = snapshot.get("extractor")
     if extractor is not None:
         line = f"  extractor  precision={extractor['precision']}"

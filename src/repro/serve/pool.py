@@ -31,6 +31,13 @@ suite runs against both).  What changes at the pool level:
   → ``result``, with ``worker`` fields for the per-worker ``repro top``
   panel), and feeds the SLO tracker and quality monitor from re-stamped
   worker results.
+- **Worker internals ship home.**  Each worker runs the telemetry
+  plane (:mod:`repro.obs.telemetry`): seq-numbered frames of metric
+  deltas and whitelisted internal events flow back over the result
+  queue and merge into the parent registry under ``worker=<rank>``
+  labels (and into the pool event log), so one ``render_prometheus``
+  covers cache hits, breaker trips and batch histograms of every
+  replica.  Disable with ``telemetry_interval_s=None``.
 
 Workers that die resolve their in-flight requests as ``"error"`` and
 are then **auto-restarted** (bounded by ``max_worker_restarts`` per
@@ -69,6 +76,7 @@ from repro.obs.quality import (
     QualityMonitor,
 )
 from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.telemetry import TelemetryMerger
 from repro.serve.config import ServiceConfig
 from repro.serve.faults import FaultInjector
 from repro.serve.router import ShardRouter
@@ -129,6 +137,13 @@ class ServicePool:
         Lifecycle events, SLO accounting and quality monitoring happen
         once, in the parent, over re-stamped worker results; the canary
         reload gate is applied once at pool level.
+    telemetry_interval_s:
+        Wall-clock cadence of the worker telemetry plane
+        (:mod:`repro.obs.telemetry`): every worker ships metric-delta +
+        internal-event frames at this interval (plus a final flush on
+        stop), and the parent merges them into the process registry
+        under ``worker=<rank>`` labels and re-emits worker events into
+        the pool event log.  ``None`` disables shipping entirely.
     """
 
     def __init__(self, extractor: Union[ScenarioExtractor, Module],
@@ -144,11 +159,14 @@ class ServicePool:
                  precision: str = "fp32",
                  start_timeout_s: float = 60.0,
                  drain_timeout_s: float = 30.0,
-                 max_worker_restarts: int = 2) -> None:
+                 max_worker_restarts: int = 2,
+                 telemetry_interval_s: Optional[float] = 0.25) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_worker_restarts < 0:
             raise ValueError("max_worker_restarts must be >= 0")
+        if telemetry_interval_s is not None and telemetry_interval_s <= 0:
+            raise ValueError("telemetry_interval_s must be positive")
         if isinstance(extractor, Module):
             extractor = ScenarioExtractor(extractor, precision=precision)
         self.config = config or ServiceConfig()
@@ -182,8 +200,14 @@ class ServicePool:
         self._start_timeout_s = start_timeout_s
         self._drain_timeout_s = drain_timeout_s
         self.max_worker_restarts = max_worker_restarts
+        self.telemetry_interval_s = telemetry_interval_s
+        self._telemetry: Optional[TelemetryMerger] = None
         self._restarts: List[int] = [0] * workers
         self._restarting: set = set()
+        # Per-rank spawn counts: the telemetry epoch of each worker
+        # incarnation, so a restarted replica's deltas never
+        # double-count against its predecessor's.
+        self._spawns: List[int] = [0] * workers
         self._pool_ready = False
         self._prev_active_events: Optional[EventLog] = None
 
@@ -220,6 +244,15 @@ class ServicePool:
         self._reload_counter = metrics.counter("serve.reloads")
         self._workers_gauge = metrics.gauge("serve.pool.workers")
         self._outstanding_gauge = metrics.gauge("serve.pool.outstanding")
+        # Per-rank routing/shed counters (cached handles — the hot
+        # dispatch path pays one attribute bump): worker-labelled so
+        # exposition has per-rank breakdowns without parsing events.
+        self._routed_counters = [
+            metrics.counter("serve.pool.routed", worker=str(rank))
+            for rank in range(workers)]
+        self._shed_counters = [
+            metrics.counter("serve.pool.shed", worker=str(rank))
+            for rank in range(workers)]
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "ServicePool":
@@ -237,12 +270,16 @@ class ServicePool:
         self._result_q = self._mp.Queue()
         self._request_qs = [self._mp.Queue()
                             for _ in range(self.world_size)]
+        self._telemetry = (
+            TelemetryMerger(metrics, events=self.events)
+            if self.telemetry_interval_s is not None else None)
         # Fork *before* starting the collector thread (forking with a
         # live thread that may hold locks can deadlock the child) and
         # before installing the parent event log as process-wide active
         # (workers must not inherit it — their cache events stay local).
         self._procs = []
         for rank in range(self.world_size):
+            self._spawns[rank] += 1
             proc = self._mp.Process(
                 target=worker_main,
                 args=(self._worker_spec(rank), self._request_qs[rank],
@@ -300,6 +337,8 @@ class ServicePool:
             fault_spec=self._fault_spec,
             cache_dir=self._cache_dir,
             cache_memory=self._cache_memory,
+            telemetry_interval_s=self.telemetry_interval_s,
+            epoch=self._spawns[rank],
         )
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
@@ -416,6 +455,7 @@ class ServicePool:
                     self._pending[rank].append(request)
                     return future
                 elif self._outstanding[rank] >= self.config.max_queue:
+                    self._shed_counters[rank].inc()
                     self._emit("shed", request, worker=rank,
                                queue_depth=self._outstanding[rank])
                     deferred = ("shed",
@@ -439,6 +479,7 @@ class ServicePool:
         self._inflight[request.request_id] = request
         self._inflight_rank[request.request_id] = rank
         self._outstanding_gauge.set(float(sum(self._outstanding)))
+        self._routed_counters[rank].inc()
         self._emit("route", request, worker=rank,
                    outstanding=self._outstanding[rank])
         remaining = max(0.0, request.deadline - time.monotonic())
@@ -552,6 +593,7 @@ class ServicePool:
         for request in expired:
             self._resolve_timeout(request)
         for request in sheds:
+            self._shed_counters[rank].inc()
             self._emit("shed", request, worker=rank)
             self._finish(request, self._make_result(
                 request, "shed",
@@ -716,6 +758,9 @@ class ServicePool:
             if kind == "result":
                 _, rank, request_id, result = message
                 self._on_result(rank, request_id, result)
+            elif kind == "telemetry":
+                if self._telemetry is not None:
+                    self._telemetry.merge(message[2])
             elif kind in ("health", "reload_ok", "reload_err"):
                 _, rank, probe_id, payload = message
                 with self._cond:
@@ -820,6 +865,7 @@ class ServicePool:
                 request_q = self._mp.Queue()
                 old_q = self._request_qs[rank]
                 self._request_qs[rank] = request_q
+                self._spawns[rank] += 1
                 proc = self._mp.Process(
                     target=worker_main,
                     args=(self._worker_spec(rank), request_q,
@@ -847,7 +893,8 @@ class ServicePool:
                 elif not self._running and proc.is_alive():
                     proc.terminate()
             if recovered:
-                metrics.counter("serve.pool.worker_restarts").inc()
+                metrics.counter("serve.pool.worker_restarts",
+                                worker=str(rank)).inc()
                 self._emit("worker_restart", worker=rank,
                            attempt=attempt,
                            restarts_remaining=(self.max_worker_restarts

@@ -31,8 +31,17 @@ Worker → parent on the shared result queue::
     ("reload_ok",  rank, probe_id, version)
     ("reload_err", rank, probe_id, message)
     ("health",     rank, probe_id, health_doc)
+    ("telemetry",  rank, frame)               # repro.telemetry/v1 dict
     ("stopped",    rank)
     ("worker_error", rank, message)           # fatal; process exits
+
+Telemetry frames (when ``spec.telemetry_interval_s`` is set) ship on a
+wall-clock cadence from the intake loop — the blocking ``get`` becomes
+a timed one — plus one forced flush after the final drain, so even a
+burst shorter than the interval reaches the parent in full.  The
+frame's ``epoch`` is the rank's spawn count: a restarted worker ships
+deltas from its fresh registry under a higher epoch and the parent's
+merger drops anything older (see ``repro.obs.telemetry``).
 """
 
 from __future__ import annotations
@@ -69,12 +78,21 @@ class WorkerSpec:
     fault_spec: Optional[dict] = None
     cache_dir: Optional[str] = None
     cache_memory: bool = False
+    #: Wall-clock seconds between telemetry frames; ``None`` disables
+    #: shipping entirely (no ring, no timed get — the PR-8 behaviour).
+    telemetry_interval_s: Optional[float] = None
+    #: Spawn count of this rank; restarted workers get a higher epoch
+    #: so their fresh-baseline deltas can never double-count.
+    epoch: int = 0
+    #: Capacity of the in-memory event ring drained into frames.
+    telemetry_events: int = 512
 
 
 def _build_service(spec: WorkerSpec):
     """Construct the inner single-replica service for one rank."""
     from repro.core.cache import ExtractionCache, shard_cache_dir
     from repro.core.pipeline import ScenarioExtractor
+    from repro.obs.events import EventLog
     from repro.serve.faults import FaultInjector
     from repro.serve.service import ExtractionService
 
@@ -95,8 +113,15 @@ def _build_service(spec: WorkerSpec):
         fault_spec = dict(spec.fault_spec)
         fault_spec["seed"] = int(fault_spec.get("seed", 0)) + spec.rank
         injector = FaultInjector.from_spec(fault_spec)
+    events = None
+    if spec.telemetry_interval_s is not None:
+        # Memory-mode ring: the service's start() installs it as the
+        # process-wide active log, so cache hit/miss events land here
+        # too; the shipper drains it into frames for the parent.
+        events = EventLog(None, recorder_size=spec.telemetry_events)
     return ExtractionService(extractor, spec.config,
-                             fault_injector=injector, cache=cache)
+                             fault_injector=injector, cache=cache,
+                             events=events)
 
 
 def worker_main(spec: WorkerSpec, request_q, result_q) -> None:
@@ -108,6 +133,25 @@ def worker_main(spec: WorkerSpec, request_q, result_q) -> None:
         result_q.put(("worker_error", rank,
                       f"{type(exc).__name__}: {exc}"))
         return
+
+    shipper = None
+    if spec.telemetry_interval_s is not None:
+        import time as _time
+
+        from repro.obs.registry import get_registry
+        from repro.obs.telemetry import TelemetryShipper
+
+        # Baseline at construction: whatever this (possibly forked)
+        # process inherited in the registry is never shipped.
+        shipper = TelemetryShipper(get_registry(), events=service.events,
+                                   rank=rank, epoch=spec.epoch)
+        interval = float(spec.telemetry_interval_s)
+        next_ship = _time.monotonic() + interval
+
+    def _ship(force: bool = False) -> None:
+        frame = shipper.frame(force=force)
+        if frame is not None:
+            result_q.put(("telemetry", rank, frame))
 
     # Futures resolve on the inner service's worker thread; a dedicated
     # forwarder waits on them in submission order and posts results, so
@@ -139,7 +183,18 @@ def worker_main(spec: WorkerSpec, request_q, result_q) -> None:
 
     try:
         while True:
-            message = request_q.get()
+            if shipper is None:
+                message = request_q.get()
+            else:
+                now = _time.monotonic()
+                if now >= next_ship:
+                    _ship()
+                    next_ship = now + interval
+                try:
+                    message = request_q.get(
+                        timeout=max(next_ship - now, 1e-3))
+                except queue.Empty:
+                    continue
             kind = message[0]
             if kind == "extract":
                 _, request_id, clip, timeout_s = message
@@ -174,6 +229,10 @@ def worker_main(spec: WorkerSpec, request_q, result_q) -> None:
         pending.put(None)
         forwarder.join(timeout=30.0)
         service.stop(drain=True)
+        if shipper is not None:
+            # Forced final flush *after* the drain, so the last batch's
+            # metrics and events reach the parent before "stopped".
+            _ship(force=True)
         result_q.put(("stopped", rank))
 
 
